@@ -1,0 +1,240 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations over the design choices DESIGN.md calls out.
+//
+// Each benchmark regenerates its experiment at a reduced, laptop-scale
+// size and reports the experiment's headline quantity through
+// b.ReportMetric, so `go test -bench=. -benchmem` doubles as a smoke
+// reproduction; the cmd/ binaries run the same experiments at larger
+// scales. EXPERIMENTS.md records paper-vs-measured values.
+package hira_test
+
+import (
+	"testing"
+
+	"hira"
+)
+
+// quickSim keeps per-iteration simulation cost low for benchmarks.
+func quickSim() hira.SimOptions {
+	return hira.SimOptions{Workloads: 2, Measure: 40000, Warmup: 10000, Seed: 1}
+}
+
+// BenchmarkLatencyTwoRowRefresh regenerates the §3/§4.2 latency claim:
+// HiRA refreshes two rows in 38ns instead of 78.25ns (51.4% less).
+func BenchmarkLatencyTwoRowRefresh(b *testing.B) {
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		savings = hira.PairLatencySavings()
+	}
+	b.ReportMetric(100*savings, "%savings")
+}
+
+// BenchmarkTable1Modules regenerates one row of Table 1/Table 4: module
+// characterization (coverage + normalized NRH) on module C0.
+func BenchmarkTable1Modules(b *testing.B) {
+	m := hira.Modules()[4]
+	opts := hira.CharacterizationOptions{RegionSize: 512, NRHVictims: 8}
+	var res hira.ModuleResult
+	for i := 0; i < b.N; i++ {
+		res = hira.CharacterizeModule(m, opts)
+	}
+	b.ReportMetric(100*res.Coverage.Mean, "%coverage")
+	b.ReportMetric(res.NormNRH.Mean, "normNRH")
+}
+
+// BenchmarkFig4Coverage regenerates Fig. 4's central cell: the coverage
+// distribution sweep over the (t1, t2) grid.
+func BenchmarkFig4Coverage(b *testing.B) {
+	m := hira.Modules()[4]
+	var res []hira.CoverageResult
+	for i := 0; i < b.N; i++ {
+		res = hira.CoverageSweep(m, 8, 96)
+	}
+	// Index 5 is (t1=3ns, t2=3ns), the paper's operating point.
+	b.ReportMetric(100*res[5].Summary.Mean, "%cov@3ns")
+}
+
+// BenchmarkFig5Threshold regenerates Fig. 5: RowHammer thresholds with
+// and without HiRA's mid-hammer refresh.
+func BenchmarkFig5Threshold(b *testing.B) {
+	m := hira.Modules()[4]
+	var s hira.NRHStudy
+	for i := 0; i < b.N; i++ {
+		s = hira.VerifySecondActivation(m, 8)
+	}
+	b.ReportMetric(s.Normalized.Mean, "normNRH")
+	b.ReportMetric(s.Without.Mean, "absNRH")
+}
+
+// BenchmarkFig6Banks regenerates Fig. 6: per-bank normalized thresholds.
+func BenchmarkFig6Banks(b *testing.B) {
+	m := hira.Modules()[0]
+	var banks []hira.BankResult
+	for i := 0; i < b.N; i++ {
+		banks = hira.BankVariation(m, 2)
+	}
+	lo, hi := banks[0].Normalized.Mean, banks[0].Normalized.Mean
+	for _, bk := range banks {
+		if bk.Normalized.Mean < lo {
+			lo = bk.Normalized.Mean
+		}
+		if bk.Normalized.Mean > hi {
+			hi = bk.Normalized.Mean
+		}
+	}
+	b.ReportMetric(lo, "minBank")
+	b.ReportMetric(hi, "maxBank")
+}
+
+// BenchmarkTable2Area regenerates Table 2: HiRA-MC's area and query
+// latency.
+func BenchmarkTable2Area(b *testing.B) {
+	var r hira.AreaReport
+	for i := 0; i < b.N; i++ {
+		r = hira.Area()
+	}
+	b.ReportMetric(r.TotalAreaMM2*1000, "mm2*1e-3")
+	b.ReportMetric(r.QueryLatencyNS, "query-ns")
+}
+
+// BenchmarkFig9Periodic regenerates Fig. 9's endpoints: periodic-refresh
+// performance at 8Gb and 128Gb.
+func BenchmarkFig9Periodic(b *testing.B) {
+	var rows []hira.Fig9Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = hira.Fig9(quickSim(), []int{8, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hi := rows[1]
+	b.ReportMetric(hi.NormNoRefresh["Baseline"], "base/noref@128Gb")
+	b.ReportMetric(hi.NormBaseline["HiRA-2"], "hira2/base@128Gb")
+}
+
+// BenchmarkFig11Security regenerates Fig. 11: the full pth grid.
+func BenchmarkFig11Security(b *testing.B) {
+	var pts []hira.Fig11Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = hira.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].Pth, "pth@64")
+	b.ReportMetric(pts[len(pts)-4].Pth, "pth@1024")
+}
+
+// BenchmarkFig12PARA regenerates Fig. 12's headline: HiRA's speedup over
+// PARA at low RowHammer thresholds.
+func BenchmarkFig12PARA(b *testing.B) {
+	var rows []hira.Fig12Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = hira.Fig12(quickSim(), []int{64})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].NormBaseline["PARA"], "para/base@64")
+	b.ReportMetric(rows[0].NormPARA["HiRA-4"], "hira4/para@64")
+}
+
+// BenchmarkFig13Channels regenerates Fig. 13 at 32Gb for 1 and 4 channels.
+func BenchmarkFig13Channels(b *testing.B) {
+	var rows []hira.ScaleRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = hira.Fig13(quickSim(), []int{1, 4}, []int{32})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[1].WS["HiRA-2"]/rows[0].WS["HiRA-2"], "hira2-4ch/1ch")
+}
+
+// BenchmarkFig14Ranks regenerates Fig. 14 at 32Gb for 1 and 2 ranks.
+func BenchmarkFig14Ranks(b *testing.B) {
+	var rows []hira.ScaleRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = hira.Fig14(quickSim(), []int{1, 2}, []int{32})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[1].WS["HiRA-2"]/rows[0].WS["HiRA-2"], "hira2-2rk/1rk")
+}
+
+// BenchmarkFig15ParaChannels regenerates Fig. 15 at NRH=256 for 1 and 4
+// channels.
+func BenchmarkFig15ParaChannels(b *testing.B) {
+	var rows []hira.ScaleRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = hira.Fig15(quickSim(), []int{1, 4}, []int{256})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[1].WS["HiRA-4"]/rows[1].WS["PARA"], "hira4/para@4ch")
+}
+
+// BenchmarkFig16ParaRanks regenerates Fig. 16 at NRH=256 for 1 and 2
+// ranks.
+func BenchmarkFig16ParaRanks(b *testing.B) {
+	var rows []hira.ScaleRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = hira.Fig16(quickSim(), []int{1, 2}, []int{256})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[1].WS["HiRA-4"]/rows[1].WS["PARA"], "hira4/para@2rk")
+}
+
+// BenchmarkAblationRefSlack sweeps tRefSlack (the HiRA-N knob) at 64Gb
+// periodic refresh: the paper observes saturation beyond 2xtRC.
+func BenchmarkAblationRefSlack(b *testing.B) {
+	base := hira.DefaultSystemConfig()
+	base.ChipCapacityGbit = 64
+	policies := []hira.RefreshPolicy{
+		hira.HiRAPeriodicPolicy(0), hira.HiRAPeriodicPolicy(2),
+		hira.HiRAPeriodicPolicy(4), hira.HiRAPeriodicPolicy(8),
+	}
+	var scores []hira.PolicyScore
+	var err error
+	for i := 0; i < b.N; i++ {
+		scores, err = hira.RunPolicies(base, policies, quickSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(scores[1].WS/scores[0].WS, "hira2/hira0")
+	b.ReportMetric(scores[3].WS/scores[1].WS, "hira8/hira2")
+}
+
+// BenchmarkAblationCoverage sweeps the SPT pairable fraction: what HiRA
+// would gain if chips exposed more isolated subarray pairs than the
+// measured 32%.
+func BenchmarkAblationCoverage(b *testing.B) {
+	run := func(cov float64) float64 {
+		base := hira.DefaultSystemConfig()
+		base.ChipCapacityGbit = 64
+		base.SPTCoverage = cov
+		scores, err := hira.RunPolicies(base,
+			[]hira.RefreshPolicy{hira.HiRAPeriodicPolicy(4)}, quickSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return scores[0].WS
+	}
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		lo, hi = run(0.10), run(0.60)
+	}
+	b.ReportMetric(hi/lo, "ws60%/ws10%")
+}

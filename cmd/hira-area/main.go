@@ -1,0 +1,25 @@
+// Command hira-area regenerates Table 2: the chip area and access latency
+// of HiRA-MC's SRAM structures at 22 nm, and the worst-case query latency
+// argument of §6.2 (search completes well within tRP).
+package main
+
+import (
+	"fmt"
+
+	"hira"
+)
+
+func main() {
+	r := hira.Area()
+	fmt.Println("== Table 2: HiRA-MC area and access latency (per DRAM rank, 22nm) ==")
+	fmt.Printf("%-28s %-12s %-10s %-12s\n", "Component", "Area (mm2)", "Area (%)", "Latency (ns)")
+	for _, c := range r.Components {
+		fmt.Printf("%-28s %-12.5f %-10.5f %-12.2f\n",
+			c.Name, c.AreaMM2(), 100*c.AreaMM2()/400.0, c.LatencyNS())
+	}
+	fmt.Printf("%-28s %-12.5f %-10.5f %-12.2f\n", "Overall",
+		r.TotalAreaMM2, 100*r.AreaFraction, r.QueryLatencyNS)
+	fmt.Printf("\nquery latency %.2fns vs tRP 14.5ns: fits within a precharge: %v\n",
+		r.QueryLatencyNS, r.QueryLatencyNS < 14.5)
+	fmt.Println("paper: overall 0.00923 mm2 (0.0023% of a 22nm die), 6.31ns query")
+}

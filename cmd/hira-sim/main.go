@@ -1,0 +1,152 @@
+// Command hira-sim regenerates the paper's system-level performance
+// figures: Fig. 9 (periodic refresh vs chip capacity), Fig. 12 (PARA
+// preventive refresh vs RowHammer threshold), and the §10 sensitivity
+// sweeps Figs. 13-16 (channels/ranks). Scale with -workloads and -ticks;
+// the paper's scale is -workloads 125 with much longer runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hira"
+)
+
+var (
+	exp       = flag.String("exp", "fig9", "experiment: fig9|fig12|fig13|fig14|fig15|fig16")
+	workloads = flag.Int("workloads", 4, "number of 8-core multiprogrammed mixes")
+	ticks     = flag.Int("ticks", 120000, "measured memory-controller ticks per run")
+	warmup    = flag.Int("warmup", 30000, "warmup ticks per run")
+	seed      = flag.Uint64("seed", 1, "workload seed")
+)
+
+func opts() hira.SimOptions {
+	return hira.SimOptions{Workloads: *workloads, Measure: *ticks, Warmup: *warmup, Seed: *seed}
+}
+
+func names(ws map[string]float64) []string {
+	out := make([]string, 0, len(ws))
+	for n := range ws {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fig9() error {
+	rows, err := hira.Fig9(opts(), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig. 9a: weighted speedup normalized to No Refresh ==")
+	hdr := names(rows[0].NormNoRefresh)
+	fmt.Printf("%-8s", "cap")
+	for _, n := range hdr {
+		fmt.Printf("%11s", n)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%5dGb ", r.CapacityGbit)
+		for _, n := range hdr {
+			fmt.Printf("%11.3f", r.NormNoRefresh[n])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n== Fig. 9b: weighted speedup normalized to Baseline ==")
+	for _, r := range rows {
+		fmt.Printf("%5dGb ", r.CapacityGbit)
+		for _, n := range hdr {
+			fmt.Printf("%11.3f", r.NormBaseline[n])
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper @128Gb: baseline 26.3% below No Refresh; HiRA-2 +12.6% over baseline")
+	return nil
+}
+
+func fig12() error {
+	rows, err := hira.Fig12(opts(), nil)
+	if err != nil {
+		return err
+	}
+	hdr := names(rows[0].NormBaseline)
+	fmt.Println("== Fig. 12a: weighted speedup normalized to Baseline (no defense) ==")
+	fmt.Printf("%-8s", "NRH")
+	for _, n := range hdr {
+		fmt.Printf("%11s", n)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%7d ", r.NRH)
+		for _, n := range hdr {
+			fmt.Printf("%11.3f", r.NormBaseline[n])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n== Fig. 12b: weighted speedup normalized to PARA ==")
+	for _, r := range rows {
+		fmt.Printf("%7d ", r.NRH)
+		for _, n := range hdr {
+			fmt.Printf("%11.3f", r.NormPARA[n])
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper @NRH=64: PARA 96% overhead; HiRA-4 3.73x over PARA")
+	return nil
+}
+
+func scale(rows []hira.ScaleRow, xName, pName string, err error) error {
+	if err != nil {
+		return err
+	}
+	hdr := names(rows[0].WS)
+	fmt.Printf("%-6s %-8s", pName, xName)
+	for _, n := range hdr {
+		fmt.Printf("%11s", n)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%6d %8d", r.Param, r.X)
+		for _, n := range hdr {
+			fmt.Printf("%11.3f", r.WS[n])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func main() {
+	flag.Parse()
+	var err error
+	switch *exp {
+	case "fig9":
+		err = fig9()
+	case "fig12":
+		err = fig12()
+	case "fig13":
+		fmt.Println("== Fig. 13: channel sweep, periodic refresh (absolute WS) ==")
+		rows, e := hira.Fig13(opts(), nil, nil)
+		err = scale(rows, "chans", "capGb", e)
+	case "fig14":
+		fmt.Println("== Fig. 14: rank sweep, periodic refresh (absolute WS) ==")
+		rows, e := hira.Fig14(opts(), nil, nil)
+		err = scale(rows, "ranks", "capGb", e)
+	case "fig15":
+		fmt.Println("== Fig. 15: channel sweep, PARA (absolute WS) ==")
+		rows, e := hira.Fig15(opts(), nil, nil)
+		err = scale(rows, "chans", "NRH", e)
+	case "fig16":
+		fmt.Println("== Fig. 16: rank sweep, PARA (absolute WS) ==")
+		rows, e := hira.Fig16(opts(), nil, nil)
+		err = scale(rows, "ranks", "NRH", e)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,193 @@
+// Package hira is a from-scratch Go reproduction of "HiRA: Hidden Row
+// Activation for Reducing Refresh Latency of Off-the-Shelf DRAM Chips"
+// (Yağlıkçı et al., MICRO 2022).
+//
+// HiRA refreshes one DRAM row concurrently with refreshing or accessing
+// another row of the same bank by issuing an engineered ACT-PRE-ACT
+// command sequence with deliberately violated timings (t1 = t2 = 3 ns),
+// exploiting subarrays whose charge-restoration circuitry is electrically
+// isolated. The HiRA Memory Controller (HiRA-MC) schedules periodic and
+// RowHammer-preventive refreshes through HiRA operations to hide their
+// latency behind demand accesses and other refreshes.
+//
+// This package is the public facade over the full reproduction:
+//
+//   - Characterization (§4): virtual DDR4 chips with the electrical
+//     preconditions HiRA depends on, the paper's Algorithms 1 and 2, and
+//     the Table 1/4 module set — see Modules, CharacterizeModule,
+//     CoverageSweep, VerifySecondActivation, BankVariation.
+//   - Security analysis (§9.1): PARA's revisited probability-threshold
+//     derivation — see SolvePARAThreshold, Fig11.
+//   - Hardware cost (§6): the Table 2 area/latency model — see AreaReport.
+//   - System-level evaluation (§7-§10): a cycle-level DDR4 simulator with
+//     HiRA-MC — see the re-exported sim experiment runners Fig9, Fig12,
+//     Fig13-Fig16, and RunPolicies.
+//
+// Subpackages under internal/ hold the implementation; everything a
+// downstream user needs is exported here or through the cmd/ binaries.
+package hira
+
+import (
+	"hira/internal/areamodel"
+	"hira/internal/charz"
+	"hira/internal/chip"
+	"hira/internal/dram"
+	"hira/internal/metrics"
+	"hira/internal/rowhammer"
+	"hira/internal/sim"
+	"hira/internal/softmc"
+)
+
+// Timing re-exports the DDR4 timing parameter set.
+type Timing = dram.Timing
+
+// DDR4Timing returns the paper's DDR4-2400 timing for a chip capacity in
+// Gbit (tRFC follows Expression 1).
+func DDR4Timing(capacityGbit int) Timing { return dram.DDR4_2400(capacityGbit) }
+
+// PairLatencySavings returns the headline latency claim: the fractional
+// reduction in back-to-back two-row refresh latency that HiRA achieves
+// (38 ns vs 78.25 ns = 51.4%).
+func PairLatencySavings() float64 { return dram.DDR4_2400(8).HiRAPairSavings() }
+
+// Module is one virtual DRAM module under characterization (Table 1/4).
+type Module = charz.Module
+
+// Modules returns the seven working modules of Table 1/Table 4.
+func Modules() []Module { return charz.TestedModules() }
+
+// NonWorkingModules returns stand-ins for the manufacturers on which HiRA
+// does not work (§12).
+func NonWorkingModules() []Module { return charz.NonWorkingModules() }
+
+// CharacterizationOptions sizes a characterization run.
+type CharacterizationOptions = charz.Options
+
+// ModuleResult is one row of Table 4.
+type ModuleResult = charz.ModuleResult
+
+// CharacterizeModule runs Algorithms 1 and 2 against a module's virtual
+// chip and reports its HiRA coverage and normalized RowHammer threshold.
+func CharacterizeModule(m Module, opts CharacterizationOptions) ModuleResult {
+	return charz.CharacterizeModule(m, opts)
+}
+
+// CoverageResult is the coverage distribution at one (t1, t2) point.
+type CoverageResult = charz.CoverageResult
+
+// CoverageSweep regenerates Fig. 4 for a module: HiRA coverage across
+// tested rows for every (t1, t2) in the paper's grid.
+func CoverageSweep(m Module, rowAs, rowBs int) []CoverageResult {
+	g := charz.CharzGeometry()
+	h := softmc.NewHost(m.NewChip(g))
+	tested := charz.TestedRows(g, 2048, 1)
+	as := charz.SampleRows(tested, rowAs)
+	bs := charz.SampleRows(tested, rowBs)
+	return charz.CoverageSweep(h, 0, as, bs)
+}
+
+// NRHStudy is Fig. 5's summary: RowHammer thresholds with/without HiRA.
+type NRHStudy = charz.NRHStudy
+
+// VerifySecondActivation regenerates Fig. 5 for a module: measure
+// RowHammer thresholds with and without a mid-hammer HiRA refresh on
+// `victims` sampled rows.
+func VerifySecondActivation(m Module, victims int) NRHStudy {
+	g := charz.CharzGeometry()
+	h := softmc.NewHost(m.NewChip(g))
+	t := dram.FromNanoseconds(3)
+	rows := charz.SampleRows(charz.InteriorRows(g, charz.TestedRows(g, 2048, 1)), victims)
+	return charz.StudyNRH(charz.MeasureNRHRows(h, 0, rows, t, t))
+}
+
+// BankResult is one bank's normalized-threshold distribution (Fig. 6).
+type BankResult = charz.BankResult
+
+// BankVariation regenerates Fig. 6 for a module.
+func BankVariation(m Module, victimsPerBank int) []BankResult {
+	t := dram.FromNanoseconds(3)
+	return charz.BankVariation(m, victimsPerBank, t, t)
+}
+
+// Summary re-exports the box-and-whiskers summary statistics.
+type Summary = metrics.Summary
+
+// SolvePARAThreshold solves PARA's probability threshold pth for a
+// RowHammer threshold and a tRefSlack in units of tRC, targeting the
+// 1e-15 consumer reliability level (§9.1, Expression 8).
+func SolvePARAThreshold(nrh, slackTRC int) (float64, error) {
+	return rowhammer.DefaultConfig().SolvePth(nrh, float64(slackTRC), rowhammer.ReliabilityTarget)
+}
+
+// Fig11Point is one point of the Fig. 11 security analysis.
+type Fig11Point = rowhammer.Fig11Point
+
+// Fig11 computes the full Fig. 11 grid: pth and the success probability
+// of PARA-Legacy's configuration under the revisited model.
+func Fig11() ([]Fig11Point, error) { return rowhammer.DefaultConfig().Fig11() }
+
+// AreaReport is Table 2: HiRA-MC's per-rank area and access latency.
+type AreaReport = areamodel.Report
+
+// Area computes Table 2.
+func Area() AreaReport { return areamodel.BuildReport() }
+
+// System-level experiment re-exports (§7-§10).
+type (
+	// SimOptions sizes a performance sweep (workload count, measured
+	// ticks, etc.).
+	SimOptions = sim.Options
+	// SystemConfig describes one simulated machine.
+	SystemConfig = sim.Config
+	// RefreshPolicy names one refresh configuration under test.
+	RefreshPolicy = sim.RefreshPolicy
+	// PolicyScore is a policy's average weighted speedup.
+	PolicyScore = sim.PolicyScore
+	// Fig9Row is one capacity point of Fig. 9.
+	Fig9Row = sim.Fig9Row
+	// Fig12Row is one RowHammer-threshold point of Fig. 12.
+	Fig12Row = sim.Fig12Row
+	// ScaleRow is one point of the §10 channel/rank sweeps.
+	ScaleRow = sim.ScaleRow
+)
+
+// Policy constructors.
+var (
+	// NoRefreshPolicy is the ideal no-refresh upper bound.
+	NoRefreshPolicy = sim.NoRefreshPolicy
+	// BaselinePolicy is conventional rank-level REF.
+	BaselinePolicy = sim.BaselinePolicy
+	// HiRAPeriodicPolicy is HiRA-N for periodic refresh.
+	HiRAPeriodicPolicy = sim.HiRAPeriodicPolicy
+	// PARAPolicy is PARA without HiRA.
+	PARAPolicy = sim.PARAPolicy
+	// PARAHiRAPolicy is PARA with HiRA-N parallelization.
+	PARAHiRAPolicy = sim.PARAHiRAPolicy
+	// DefaultSystemConfig is Table 3's system.
+	DefaultSystemConfig = sim.DefaultConfig
+)
+
+// Experiment runners.
+var (
+	// RunPolicies evaluates refresh policies on shared workload mixes.
+	RunPolicies = sim.RunPolicies
+	// Fig9 sweeps chip capacity for periodic refresh (§8).
+	Fig9 = sim.Fig9
+	// Fig12 sweeps the RowHammer threshold for preventive refresh (§9.2).
+	Fig12 = sim.Fig12
+	// Fig13 sweeps channels under periodic refresh (§10.1).
+	Fig13 = sim.Fig13
+	// Fig14 sweeps ranks under periodic refresh (§10.1).
+	Fig14 = sim.Fig14
+	// Fig15 sweeps channels under PARA (§10.2).
+	Fig15 = sim.Fig15
+	// Fig16 sweeps ranks under PARA (§10.2).
+	Fig16 = sim.Fig16
+)
+
+// NewVirtualChip builds a virtual DDR4 chip directly for custom
+// experiments (see internal/chip for the electrical model).
+func NewVirtualChip(m Module) *chip.Chip { return m.NewChip(charz.CharzGeometry()) }
+
+// NewHost attaches a SoftMC-style command-level host to a chip.
+func NewHost(c *chip.Chip) *softmc.Host { return softmc.NewHost(c) }

@@ -1,0 +1,105 @@
+package hira_test
+
+import (
+	"math"
+	"testing"
+
+	"hira"
+)
+
+// TestHeadlineClaims pins the paper's abstract-level claims as seen
+// through the public API.
+func TestHeadlineClaims(t *testing.T) {
+	// "HiRA reduces the overall latency of two refresh operations by
+	// 51.4%."
+	if s := hira.PairLatencySavings(); math.Abs(s-0.514) > 0.002 {
+		t.Errorf("pair latency savings = %.4f, want 0.514", s)
+	}
+
+	// "HiRA-MC consumes only 0.00923 mm2 chip area and responds to
+	// queries within 6.31 ns."
+	a := hira.Area()
+	if math.Abs(a.TotalAreaMM2-0.00923) > 0.001 {
+		t.Errorf("area = %.5f mm2, want 0.00923", a.TotalAreaMM2)
+	}
+	if math.Abs(a.QueryLatencyNS-6.31) > 0.35 {
+		t.Errorf("query latency = %.2f ns, want 6.31", a.QueryLatencyNS)
+	}
+}
+
+func TestModuleSetMatchesTable1(t *testing.T) {
+	ms := hira.Modules()
+	if len(ms) != 7 {
+		t.Fatalf("%d modules, want 7", len(ms))
+	}
+	caps := map[string]int{"A0": 4, "B0": 8, "C0": 4}
+	for _, m := range ms {
+		if want, ok := caps[m.Label]; ok && m.CapGbit != want {
+			t.Errorf("%s capacity = %dGb, want %d", m.Label, m.CapGbit, want)
+		}
+	}
+}
+
+// TestCharacterizationHeadline checks "HiRA can reliably parallelize a
+// DRAM row's refresh operation with refresh or activation of any of the
+// 32% of the rows within the same bank" on a working module.
+func TestCharacterizationHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second-scale characterization")
+	}
+	res := hira.CharacterizeModule(hira.Modules()[4], hira.CharacterizationOptions{
+		RegionSize: 512, NRHVictims: 8,
+	})
+	if !res.HiRAWorks {
+		t.Fatal("HiRA not verified on module C0")
+	}
+	if res.Coverage.Mean < 0.22 || res.Coverage.Mean > 0.45 {
+		t.Errorf("coverage mean = %.3f, want near 0.32-0.35", res.Coverage.Mean)
+	}
+	if res.NormNRH.Mean < 1.7 || res.NormNRH.Mean > 2.1 {
+		t.Errorf("normalized NRH mean = %.3f, want ~1.9", res.NormNRH.Mean)
+	}
+}
+
+func TestSecurityAnalysisHeadline(t *testing.T) {
+	// Solved pth must always exceed PARA-Legacy's (the legacy config
+	// misses the reliability target).
+	pts, err := hira.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Pth < p.LegacyPth {
+			t.Errorf("NRH=%d slack=%d: pth %.4f below legacy %.4f",
+				p.NRH, p.SlackTRC, p.Pth, p.LegacyPth)
+		}
+		if p.LegacyPRH <= 1e-15 {
+			t.Errorf("NRH=%d slack=%d: legacy config meets the target it should miss", p.NRH, p.SlackTRC)
+		}
+	}
+	pth, err := hira.SolvePARAThreshold(1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pth-0.0664) > 0.003 {
+		t.Errorf("pth(1024, 0) = %.4f, want ~0.066", pth)
+	}
+}
+
+// TestSystemHeadline checks the §9.2 headline through the simulator at
+// reduced scale: HiRA multiplies PARA-protected performance at NRH=64.
+func TestSystemHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	opts := hira.SimOptions{Workloads: 2, Measure: 40000, Warmup: 10000}
+	scores, err := hira.RunPolicies(hira.DefaultSystemConfig(), []hira.RefreshPolicy{
+		hira.PARAPolicy(64), hira.PARAHiRAPolicy(64, 4),
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := scores[1].WS / scores[0].WS; ratio < 2 {
+		t.Errorf("HiRA-4/PARA at NRH=64 = %.2fx, want well above 2x (paper: 3.73x)", ratio)
+	}
+}

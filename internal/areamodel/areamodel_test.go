@@ -1,0 +1,69 @@
+package areamodel
+
+import (
+	"math"
+	"testing"
+)
+
+// within checks got is within frac of want.
+func within(t *testing.T, name string, got, want, frac float64) {
+	t.Helper()
+	if math.Abs(got-want) > frac*want {
+		t.Errorf("%s = %g, want %g (±%.0f%%)", name, got, want, frac*100)
+	}
+}
+
+func TestComponentAreasMatchTable2(t *testing.T) {
+	comps := HiRAMCComponents()
+	wantArea := map[string]float64{
+		"Refresh Table":              0.00031,
+		"RefPtr Table":               0.00683,
+		"PR-FIFO":                    0.00029,
+		"Subarray Pairs Table (SPT)": 0.00180,
+	}
+	for _, c := range comps {
+		within(t, c.Name+" area", c.AreaMM2(), wantArea[c.Name], 0.15)
+	}
+}
+
+func TestComponentLatenciesMatchTable2(t *testing.T) {
+	comps := HiRAMCComponents()
+	wantLat := map[string]float64{
+		"Refresh Table":              0.07,
+		"RefPtr Table":               0.12,
+		"PR-FIFO":                    0.07,
+		"Subarray Pairs Table (SPT)": 0.09,
+	}
+	for _, c := range comps {
+		within(t, c.Name+" latency", c.LatencyNS(), wantLat[c.Name], 0.15)
+	}
+}
+
+func TestReportMatchesTable2Totals(t *testing.T) {
+	r := BuildReport()
+	// Overall 0.00923 mm², 0.0023% of a 22nm processor die, 6.31ns
+	// query latency.
+	within(t, "total area", r.TotalAreaMM2, 0.00923, 0.12)
+	within(t, "area fraction", r.AreaFraction, 0.000023, 0.15)
+	within(t, "query latency", r.QueryLatencyNS, 6.31, 0.05)
+}
+
+func TestQueryLatencyBelowTRP(t *testing.T) {
+	// §6.2's conclusion: the search completes well within a precharge
+	// (tRP = 14.5ns), so HiRA-MC adds no latency to memory accesses.
+	r := BuildReport()
+	if r.QueryLatencyNS >= 14.5 {
+		t.Errorf("query latency %.2fns not below tRP 14.5ns", r.QueryLatencyNS)
+	}
+}
+
+func TestAreaMonotonicInSize(t *testing.T) {
+	small := Component{Name: "s", Entries: 16, BitsPerEntry: 8}
+	big := Component{Name: "b", Entries: 1024, BitsPerEntry: 8}
+	if small.AreaMM2() >= big.AreaMM2() {
+		t.Error("area not monotonic in entries")
+	}
+	if small.LatencyNS() >= big.LatencyNS() {
+		t.Error("latency not monotonic in entries")
+	}
+}

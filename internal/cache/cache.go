@@ -1,0 +1,138 @@
+// Package cache implements the shared last-level cache of the simulated
+// system (Table 3: 8 MB, 8-way set-associative, 64-byte lines, LRU).
+package cache
+
+import "fmt"
+
+// Cache is a set-associative write-back cache with LRU replacement.
+// It is not safe for concurrent use.
+type Cache struct {
+	assoc     int
+	sets      int
+	blockBits uint
+	setMask   uint64
+
+	tags  []uint64 // [set*assoc+way]
+	valid []bool
+	dirty []bool
+	lru   []uint64 // access stamp per way; smallest = least recent
+	stamp uint64
+
+	Stats Stats
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits, Misses, Writebacks uint64
+}
+
+// New returns a cache of the given total size, associativity, and block
+// size (all powers of two).
+func New(sizeBytes, assoc, blockBytes int) (*Cache, error) {
+	if sizeBytes <= 0 || assoc <= 0 || blockBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry")
+	}
+	blocks := sizeBytes / blockBytes
+	sets := blocks / assoc
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	if blockBytes&(blockBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: block size %d not a power of two", blockBytes)
+	}
+	bits := uint(0)
+	for 1<<bits < blockBytes {
+		bits++
+	}
+	return &Cache{
+		assoc:     assoc,
+		sets:      sets,
+		blockBits: bits,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, blocks),
+		valid:     make([]bool, blocks),
+		dirty:     make([]bool, blocks),
+		lru:       make([]uint64, blocks),
+	}, nil
+}
+
+// MustNew is New, panicking on error; for configurations known statically.
+func MustNew(sizeBytes, assoc, blockBytes int) *Cache {
+	c, err := New(sizeBytes, assoc, blockBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Result describes the outcome of an access.
+type Result struct {
+	Hit bool
+	// Writeback, if WB is true, is the address of a dirty block evicted
+	// by this access, which must be written to memory.
+	Writeback uint64
+	WB        bool
+}
+
+// Access looks up addr, allocating on miss, and reports hit/miss and any
+// dirty eviction.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	blk := addr >> c.blockBits
+	set := int(blk & c.setMask)
+	base := set * c.assoc
+
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == blk {
+			c.touch(i)
+			if write {
+				c.dirty[i] = true
+			}
+			c.Stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.Stats.Misses++
+
+	// Choose victim: an invalid way, else the least recently used way.
+	victim := -1
+	oldest := ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = w
+			break
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = w
+		}
+	}
+	i := base + victim
+	res := Result{}
+	if c.valid[i] && c.dirty[i] {
+		res.WB = true
+		res.Writeback = c.tags[i] << c.blockBits
+		c.Stats.Writebacks++
+	}
+	c.tags[i] = blk
+	c.valid[i] = true
+	c.dirty[i] = write
+	c.touch(i)
+	return res
+}
+
+// touch makes the line the most recently used in its set.
+func (c *Cache) touch(i int) {
+	c.stamp++
+	c.lru[i] = c.stamp
+}
+
+// HitRate returns hits / (hits+misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	total := c.Stats.Hits + c.Stats.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Stats.Hits) / float64(total)
+}

@@ -1,0 +1,86 @@
+package charz
+
+import (
+	"hira/internal/dram"
+	"hira/internal/metrics"
+	"hira/internal/softmc"
+)
+
+// PairWorks runs the inner body of Algorithm 1 for one (RowA, RowB) pair:
+// for each of the four data patterns, initialize the rows with inverse
+// patterns, perform HiRA, close both rows, and check both rows for bit
+// flips. It reports whether the pair survived every pattern.
+func PairWorks(h *softmc.Host, bank, rowA, rowB int, t1, t2 dram.Time) bool {
+	for _, p := range softmc.Patterns() {
+		h.InitRow(bank, rowA, p)
+		h.InitRow(bank, rowB, p.Inverse())
+
+		h.HiRA(bank, rowA, rowB, t1, t2)
+
+		if h.CompareRow(bank, rowA, p) != 0 {
+			return false
+		}
+		if h.CompareRow(bank, rowB, p.Inverse()) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CoverageForRow implements Algorithm 1's outer loop body for one RowA:
+// the fraction of candidate RowBs that HiRA can reliably activate
+// concurrently with RowA.
+func CoverageForRow(h *softmc.Host, bank, rowA int, rowBs []int, t1, t2 dram.Time) float64 {
+	count := 0
+	for _, rowB := range rowBs {
+		if rowB == rowA {
+			continue
+		}
+		if PairWorks(h, bank, rowA, rowB, t1, t2) {
+			count++
+		}
+	}
+	return float64(count) / float64(len(rowBs))
+}
+
+// CoverageResult is the HiRA coverage distribution across tested rows for
+// one (t1, t2) timing combination.
+type CoverageResult struct {
+	T1, T2  dram.Time
+	PerRow  []float64
+	Summary metrics.Summary
+}
+
+// MeasureCoverage runs Algorithm 1 over the given RowA sample against the
+// RowB candidates.
+func MeasureCoverage(h *softmc.Host, bank int, rowAs, rowBs []int, t1, t2 dram.Time) CoverageResult {
+	res := CoverageResult{T1: t1, T2: t2, PerRow: make([]float64, 0, len(rowAs))}
+	for _, rowA := range rowAs {
+		res.PerRow = append(res.PerRow, CoverageForRow(h, bank, rowA, rowBs, t1, t2))
+	}
+	res.Summary = metrics.Summarize(res.PerRow)
+	return res
+}
+
+// Fig4T1Values and Fig4T2Values are the timing grid of Fig. 4.
+func Fig4T1Values() []dram.Time {
+	return []dram.Time{
+		dram.FromNanoseconds(1.5), dram.FromNanoseconds(3),
+		dram.FromNanoseconds(4.5), dram.FromNanoseconds(6),
+	}
+}
+
+// Fig4T2Values returns the t2 grid of Fig. 4 (same values as t1).
+func Fig4T2Values() []dram.Time { return Fig4T1Values() }
+
+// CoverageSweep regenerates Fig. 4: the coverage distribution across
+// tested rows for every (t1, t2) combination.
+func CoverageSweep(h *softmc.Host, bank int, rowAs, rowBs []int) []CoverageResult {
+	var out []CoverageResult
+	for _, t1 := range Fig4T1Values() {
+		for _, t2 := range Fig4T2Values() {
+			out = append(out, MeasureCoverage(h, bank, rowAs, rowBs, t1, t2))
+		}
+	}
+	return out
+}

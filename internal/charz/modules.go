@@ -1,0 +1,136 @@
+// Package charz implements the paper's real-chip characterization
+// methodology (§4) against virtual chips: Algorithm 1 (HiRA coverage),
+// Algorithm 2 (verifying HiRA's second row activation via RowHammer
+// thresholds), the per-bank variation study (§4.4), and the tested-module
+// table (Tables 1 and 4).
+package charz
+
+import (
+	"fmt"
+
+	"hira/internal/chip"
+)
+
+// Module describes one DRAM module under test, mirroring the columns of
+// Table 4.
+type Module struct {
+	Label    string // e.g. "A0"
+	Vendor   string // module vendor
+	ChipMfr  string // chip manufacturer
+	ModuleID string
+	ChipID   string
+	FreqMTs  int    // MT/s
+	DateCode string // week-year
+	CapGbit  int
+	DieRev   string
+	OrgX     int // x8 etc.
+	Design   chip.Design
+	Seed     uint64
+}
+
+func (m Module) String() string {
+	return fmt.Sprintf("%s (%s %dGb %s-die)", m.Label, m.ChipMfr, m.CapGbit, m.DieRev)
+}
+
+// NewChip instantiates the module's virtual chip with the given geometry.
+func (m Module) NewChip(g chip.Geometry) *chip.Chip {
+	return chip.New(m.Design, g, m.Seed, 8)
+}
+
+// TestedModules returns the seven modules of Table 1 / Table 4 on which
+// the paper demonstrates HiRA, with per-module coverage targets calibrated
+// to the table's averages.
+func TestedModules() []Module {
+	mk := func(label, vendor, moduleID, chipID, date string, cap int, die string, cov float64, seed uint64) Module {
+		return Module{
+			Label:    label,
+			Vendor:   vendor,
+			ChipMfr:  "SK Hynix",
+			ModuleID: moduleID,
+			ChipID:   chipID,
+			FreqMTs:  2400,
+			DateCode: date,
+			CapGbit:  cap,
+			DieRev:   die,
+			OrgX:     8,
+			Design:   chip.SKHynixLike("SK Hynix "+die+"-die", cov),
+			Seed:     seed,
+		}
+	}
+	return []Module{
+		mk("A0", "G.SKILL", "F4-2400C17S-8GNT", "DWCW (partial marking)", "42-20", 4, "B", 0.250, 0xA0),
+		mk("A1", "G.SKILL", "F4-2400C17S-8GNT", "DWCW (partial marking)", "42-20", 4, "B", 0.266, 0xA1),
+		mk("B0", "Kingston", "KSM32RD8/16HDR", "H5AN8G8NDJR-XNC", "48-20", 8, "D", 0.326, 0xB0),
+		mk("B1", "Kingston", "KSM32RD8/16HDR", "H5AN8G8NDJR-XNC", "48-20", 8, "D", 0.316, 0xB1),
+		mk("C0", "SK Hynix", "HMAA4GU6AJR8N-XN", "H5ANAG8NAJR-XN", "51-20", 4, "F", 0.353, 0xC0),
+		mk("C1", "SK Hynix", "HMAA4GU6AJR8N-XN", "H5ANAG8NAJR-XN", "51-20", 4, "F", 0.384, 0xC1),
+		mk("C2", "SK Hynix", "HMAA4GU6AJR8N-XN", "H5ANAG8NAJR-XN", "51-20", 4, "F", 0.361, 0xC2),
+	}
+}
+
+// NonWorkingModules returns stand-ins for the Micron- and
+// Samsung-manufactured chips on which the paper observed no successful
+// HiRA operation (§12).
+func NonWorkingModules() []Module {
+	return []Module{
+		{Label: "M0", Vendor: "Micron", ChipMfr: "Micron", FreqMTs: 2400, CapGbit: 8,
+			DieRev: "?", OrgX: 8, Design: chip.NonHiRALike("Micron-like"), Seed: 0xE0},
+		{Label: "S0", Vendor: "Samsung", ChipMfr: "Samsung", FreqMTs: 2400, CapGbit: 8,
+			DieRev: "?", OrgX: 8, Design: chip.NonHiRALike("Samsung-like"), Seed: 0xE1},
+	}
+}
+
+// CharzGeometry is the bank structure the characterization runs against.
+// It keeps the paper's 128 subarrays per bank (what coverage statistics
+// depend on) but shortens subarrays to 64 rows so that the "first 2K,
+// middle 2K, last 2K rows of bank 0" regions (footnote 4) span 96 of the
+// 128 subarrays and the experiments complete in seconds rather than days.
+func CharzGeometry() chip.Geometry {
+	return chip.Geometry{Banks: 16, SubarraysPerBank: 128, RowsPerSubarray: 64}
+}
+
+// TestedRows returns the paper's tested-row sample (footnote 4): the
+// first, middle, and last regionSize rows of a bank, thinned by stride
+// (stride 1 keeps every row).
+func TestedRows(g chip.Geometry, regionSize, stride int) []int {
+	if stride < 1 {
+		stride = 1
+	}
+	rows := g.RowsPerBank()
+	if regionSize > rows/3 {
+		regionSize = rows / 3
+	}
+	starts := []int{0, rows/2 - regionSize/2, rows - regionSize}
+	var out []int
+	for _, s := range starts {
+		for r := s; r < s+regionSize; r += stride {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// InteriorRows filters rows to those with both neighbours inside the same
+// subarray, as double-sided hammering requires.
+func InteriorRows(g chip.Geometry, rows []int) []int {
+	var out []int
+	for _, r := range rows {
+		pos := r % g.RowsPerSubarray
+		if pos >= 1 && pos <= g.RowsPerSubarray-2 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SampleRows picks up to n rows from rows, evenly spaced.
+func SampleRows(rows []int, n int) []int {
+	if n <= 0 || n >= len(rows) {
+		return rows
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rows[i*len(rows)/n])
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package charz
+
+import (
+	"hira/internal/dram"
+	"hira/internal/metrics"
+	"hira/internal/softmc"
+)
+
+// FindDummyRow reverse-engineers, with HiRA coverage probes (as §5.1.4
+// suggests a memory controller would), a row that HiRA can concurrently
+// activate with the victim: it walks candidate subarrays and returns the
+// first row that passes the four-pattern pair test. The boolean reports
+// success.
+func FindDummyRow(h *softmc.Host, bank, victim int, t1, t2 dram.Time) (int, bool) {
+	g := h.Chip().Geometry()
+	vsa := victim / g.RowsPerSubarray
+	for off := 2; off < g.SubarraysPerBank; off++ {
+		sa := (vsa + off) % g.SubarraysPerBank
+		candidate := sa*g.RowsPerSubarray + g.RowsPerSubarray/2
+		if PairWorks(h, bank, victim, candidate, t1, t2) {
+			return candidate, true
+		}
+	}
+	return 0, false
+}
+
+// hammerTrial runs one Algorithm 2 trial at a given total hammer count:
+// initialize the four rows, hammer half, refresh the victim through
+// HiRA's second activation (or wait the equivalent time), hammer the
+// other half, and report whether the victim flipped.
+func hammerTrial(h *softmc.Host, bank, victim, dummy, total int, withHiRA bool, t1, t2 dram.Time) bool {
+	const p = softmc.Checkerboard
+	// Step 1: initialize the victim with the data pattern and the dummy
+	// and aggressor rows with the inverse pattern.
+	h.InitRow(bank, victim, p)
+	h.InitRow(bank, dummy, p.Inverse())
+	h.InitRow(bank, victim-1, p.Inverse())
+	h.InitRow(bank, victim+1, p.Inverse())
+
+	// Each HammerPair iteration activates both aggressors once, so the
+	// victim receives two disturbances per iteration.
+	half := total / 4
+
+	// Step 2: first half of the hammering.
+	h.HammerPair(bank, victim-1, victim+1, half)
+
+	// Step 3: refresh the victim via HiRA, or wait the same duration.
+	if withHiRA {
+		h.HiRA(bank, dummy, victim, t1, t2)
+	} else {
+		h.Wait(t1 + t2 + h.TRAS + h.TRP)
+	}
+
+	// Step 4: second half of the hammering.
+	h.HammerPair(bank, victim-1, victim+1, half)
+
+	// Step 5: check the victim for bit flips.
+	return h.CompareRow(bank, victim, p) != 0
+}
+
+// MeasureNRH binary-searches the minimum total aggressor-activation count
+// that flips the victim (the RowHammer threshold, §2.4), with or without a
+// mid-hammer HiRA refresh of the victim. The search granularity is 4
+// activations (one double-sided iteration per half).
+func MeasureNRH(h *softmc.Host, bank, victim, dummy int, withHiRA bool, t1, t2 dram.Time) int {
+	lo, hi := 1, 1<<16 // in units of 4 activations: up to 262144 total
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if hammerTrial(h, bank, victim, dummy, mid*4, withHiRA, t1, t2) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo * 4
+}
+
+// NRHResult holds one victim row's Algorithm 2 outcome.
+type NRHResult struct {
+	Victim     int
+	Without    int     // threshold without HiRA
+	With       int     // threshold with the HiRA mid-hammer refresh
+	Normalized float64 // With / Without
+}
+
+// MeasureNRHRows runs Algorithm 2 over the victims, discovering a dummy
+// row for each. Victims for which no dummy row exists are skipped (their
+// HiRA coverage is zero).
+func MeasureNRHRows(h *softmc.Host, bank int, victims []int, t1, t2 dram.Time) []NRHResult {
+	var out []NRHResult
+	for _, v := range victims {
+		dummy, ok := FindDummyRow(h, bank, v, t1, t2)
+		if !ok {
+			continue
+		}
+		without := MeasureNRH(h, bank, v, dummy, false, t1, t2)
+		with := MeasureNRH(h, bank, v, dummy, true, t1, t2)
+		out = append(out, NRHResult{
+			Victim:     v,
+			Without:    without,
+			With:       with,
+			Normalized: float64(with) / float64(without),
+		})
+	}
+	return out
+}
+
+// NRHStudy summarizes Fig. 5: the absolute thresholds with and without
+// HiRA and the normalized ratio distribution.
+type NRHStudy struct {
+	Results          []NRHResult
+	Without, With    metrics.Summary
+	Normalized       metrics.Summary
+	FractionAbove1_7 float64 // the paper's "more than 1.7x for 88.1% of rows"
+}
+
+// StudyNRH computes Fig. 5's statistics from Algorithm 2 results.
+func StudyNRH(results []NRHResult) NRHStudy {
+	var without, with, norm []float64
+	above := 0
+	for _, r := range results {
+		without = append(without, float64(r.Without))
+		with = append(with, float64(r.With))
+		norm = append(norm, r.Normalized)
+		if r.Normalized > 1.7 {
+			above++
+		}
+	}
+	s := NRHStudy{
+		Results:    results,
+		Without:    metrics.Summarize(without),
+		With:       metrics.Summarize(with),
+		Normalized: metrics.Summarize(norm),
+	}
+	if len(results) > 0 {
+		s.FractionAbove1_7 = float64(above) / float64(len(results))
+	}
+	return s
+}

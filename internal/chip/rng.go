@@ -1,0 +1,52 @@
+package chip
+
+import "math"
+
+// The chip model needs deterministic, seedable randomness that can be
+// addressed by coordinates (module seed, bank, row, quantity) rather than
+// drawn from a stream: the same (seed, bank, row) must always yield the
+// same electrical characteristics, independent of the order in which rows
+// are touched. A small hash-based PRNG gives exactly that without any
+// dependency beyond math.
+
+// splitmix64 is the SplitMix64 finalizer; a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix hashes an arbitrary list of 64-bit coordinates into one value.
+func mix(vs ...uint64) uint64 {
+	h := uint64(0x8b72e2a3c0f8fb4d)
+	for _, v := range vs {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// uniform maps a hash to (0,1), excluding the endpoints.
+func uniform(h uint64) float64 {
+	return (float64(h>>11) + 0.5) / (1 << 53)
+}
+
+// gauss returns a standard normal variate derived deterministically from
+// two coordinates via the Box-Muller transform.
+func gauss(h uint64) float64 {
+	u1 := uniform(splitmix64(h ^ 0xa5a5a5a5a5a5a5a5))
+	u2 := uniform(splitmix64(h ^ 0x5a5a5a5a5a5a5a5a))
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// gaussClip returns mean + sigma·N(0,1) clipped to [lo, hi].
+func gaussClip(h uint64, mean, sigma, lo, hi float64) float64 {
+	v := mean + sigma*gauss(h)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

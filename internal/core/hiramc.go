@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+
+	"hira/internal/dram"
+	"hira/internal/sched"
+)
+
+// PeriodicMode selects how periodic (retention) refresh is performed.
+type PeriodicMode uint8
+
+const (
+	// PeriodicNone performs no periodic refresh (the Fig. 9a "No
+	// Refresh" ideal, or Fig. 12's baseline normalization when combined
+	// with preventive modes).
+	PeriodicNone PeriodicMode = iota
+	// PeriodicREF uses conventional rank-level REF commands.
+	PeriodicREF
+	// PeriodicHiRA uses row-granularity refreshes scheduled by HiRA-MC.
+	PeriodicHiRA
+)
+
+// PreventiveMode selects the RowHammer preventive-refresh policy.
+type PreventiveMode uint8
+
+const (
+	// PreventiveNone disables PARA.
+	PreventiveNone PreventiveMode = iota
+	// PreventiveImmediate is PARA without HiRA: each triggered refresh is
+	// performed immediately after the aggressor's activation.
+	PreventiveImmediate
+	// PreventiveHiRA queues PARA's refreshes with tRefSlack and lets
+	// HiRA-MC parallelize them.
+	PreventiveHiRA
+)
+
+// Config parameterizes HiRA-MC.
+type Config struct {
+	Org    dram.Org
+	Timing dram.Timing
+
+	Periodic   PeriodicMode
+	Preventive PreventiveMode
+
+	// RefSlack is tRefSlack: the maximum delay between generating a
+	// refresh request and performing it (HiRA-N uses N x tRC).
+	RefSlack dram.Time
+
+	// Pth is PARA's probability threshold (solved by
+	// rowhammer.Config.SolvePth for the target NRH and RefSlack).
+	Pth float64
+
+	// SPT is the subarray pairs table; required for PeriodicHiRA or
+	// PreventiveHiRA.
+	SPT *SPT
+
+	// Seed drives PARA's sampling.
+	Seed uint64
+}
+
+// refEntry is one Refresh Table entry (§5: deadline, bank id, type).
+type refEntry struct {
+	deadline   dram.Time
+	preventive bool
+	row        int // preventive target row; -1 for periodic (RefPtr decides)
+}
+
+// bankRC is HiRA-MC's per-bank state.
+type bankRC struct {
+	queue   []refEntry // Refresh Table slice for this bank, FIFO by deadline
+	prDepth int        // occupancy of the 4-entry PR-FIFO portion
+
+	// RefPtr Table slice: next row to refresh per subarray, plus the
+	// count of rows refreshed this window for balanced advancement.
+	refPtr    []int
+	refreshed []int
+
+	periodicDue dram.Time
+
+	// armed is a mandatory op built from queue entries, re-offered until
+	// the controller performs it.
+	armed      *sched.Op
+	armedCount int // queue entries consumed by armed (1 or 2)
+
+	// offered is a piggyback candidate awaiting confirmation.
+	offered    *refEntry
+	offeredRow int
+}
+
+// RefreshTableCap is the per-rank Refresh Table capacity (§6: 68 entries).
+const RefreshTableCap = 68
+
+// PRFIFOCap is the per-bank PR-FIFO capacity (§6: 4 entries).
+const PRFIFOCap = 4
+
+// HiRAMC is the HiRA memory controller, a sched.RefreshEngine.
+type HiRAMC struct {
+	cfg   Config
+	banks []*bankRC // flat: channel, rank, bank
+	ref   *sched.BaselineREF
+
+	rng uint64
+
+	interval    dram.Time // periodic generation interval per bank
+	lead        dram.Time // deadline lead time for mandatory ops
+	windowReset dram.Time
+	genPtr      int        // rotation pointer for periodic generation
+	scratch     []sched.Op // reusable Mandatory result buffer
+
+	// Stats.
+	Generated, GeneratedPreventive uint64
+	Dropped                        uint64 // PR-FIFO overflow (forced immediate)
+}
+
+var _ sched.RefreshEngine = (*HiRAMC)(nil)
+
+// New constructs HiRA-MC.
+func New(cfg Config) (*HiRAMC, error) {
+	if cfg.Periodic == PeriodicHiRA || cfg.Preventive == PreventiveHiRA {
+		if cfg.SPT == nil {
+			return nil, fmt.Errorf("core: HiRA modes require an SPT")
+		}
+	}
+	if cfg.Preventive != PreventiveNone && (cfg.Pth < 0 || cfg.Pth > 1) {
+		return nil, fmt.Errorf("core: Pth %f out of [0,1]", cfg.Pth)
+	}
+	m := &HiRAMC{cfg: cfg, rng: cfg.Seed | 1}
+	total := cfg.Org.TotalBanks()
+	m.banks = make([]*bankRC, total)
+	// Generate faster than one row per (tREFW / rowsPerBank) so that
+	// tRefSlack, deadline lead, and the ±1-count jitter of balanced
+	// subarray selection (worth one rotation step, i.e. a 1/rowsPerSubarray
+	// fraction of the window) never push a row past its retention window.
+	m.interval = cfg.Timing.PeriodicRowInterval(cfg.Org.RowsPerBank()) * 7 / 8
+	// Case 2 of §5.1.3: a refresh becomes mandatory when its deadline is
+	// less than tRC away.
+	m.lead = cfg.Timing.TRC
+	m.windowReset = cfg.Timing.TREFW
+	for i := range m.banks {
+		b := &bankRC{
+			refPtr:    make([]int, cfg.Org.SubarraysPerBank),
+			refreshed: make([]int, cfg.Org.SubarraysPerBank),
+		}
+		// Stagger periodic generation across all banks (§5.1.1: spread
+		// command-bus pressure over time); global staggering also makes
+		// bank index order equal due order for the generation rotation.
+		b.periodicDue = m.interval * dram.Time(i+1) / dram.Time(total)
+		m.banks[i] = b
+	}
+	if cfg.Periodic == PeriodicREF {
+		m.ref = sched.NewBaselineREF(cfg.Org, cfg.Timing)
+	}
+	return m, nil
+}
+
+func (m *HiRAMC) bank(ch, rank, bank int) *bankRC {
+	return m.banks[(ch*m.cfg.Org.RanksPerChannel+rank)*m.cfg.Org.BanksPerRank()+bank]
+}
+
+func (m *HiRAMC) next() uint64 {
+	x := m.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	m.rng = x
+	return x
+}
+
+// rankLoad counts Refresh Table entries for a rank.
+func (m *HiRAMC) rankLoad(ch, rank int) int {
+	n := 0
+	base := (ch*m.cfg.Org.RanksPerChannel + rank) * m.cfg.Org.BanksPerRank()
+	for b := 0; b < m.cfg.Org.BanksPerRank(); b++ {
+		n += len(m.banks[base+b].queue)
+	}
+	return n
+}
+
+// Tick implements sched.RefreshEngine: the Periodic Refresh Controller's
+// request generation. All banks share one generation interval with
+// staggered phases, so a rotating pointer visits them in due order and
+// the per-tick cost is O(1) amortized regardless of bank count.
+func (m *HiRAMC) Tick(now dram.Time) {
+	if m.cfg.Periodic != PeriodicHiRA {
+		return
+	}
+	for i := 0; i < len(m.banks); i++ {
+		b := m.banks[m.genPtr]
+		if now < b.periodicDue {
+			return
+		}
+		for now >= b.periodicDue {
+			b.queue = append(b.queue, refEntry{
+				deadline: b.periodicDue + m.cfg.RefSlack,
+				row:      -1,
+			})
+			m.Generated++
+			b.periodicDue += m.interval
+		}
+		m.genPtr = (m.genPtr + 1) % len(m.banks)
+	}
+}
+
+// NoteActivate implements sched.RefreshEngine: the Preventive Refresh
+// Controller samples every demand activation with probability Pth and
+// enqueues a neighbouring victim row refresh (PARA).
+func (m *HiRAMC) NoteActivate(loc dram.Location, demand bool, now dram.Time) {
+	if m.cfg.Preventive == PreventiveNone || m.cfg.Pth == 0 || !demand {
+		return
+	}
+	r := m.next()
+	if float64(r>>11)/(1<<53) >= m.cfg.Pth {
+		return
+	}
+	victim := loc.Row - 1
+	if m.next()&1 == 0 {
+		victim = loc.Row + 1
+	}
+	if victim < 0 || victim >= m.cfg.Org.RowsPerBank() {
+		victim = loc.Row // edge rows: refresh the row itself
+	}
+	b := m.bank(loc.Channel, loc.Rank, loc.Bank)
+	deadline := now
+	if m.cfg.Preventive == PreventiveHiRA {
+		deadline = now + m.cfg.RefSlack
+	}
+	e := refEntry{deadline: deadline, preventive: true, row: victim}
+	if b.prDepth >= PRFIFOCap || m.rankLoad(loc.Channel, loc.Rank) >= RefreshTableCap {
+		// Structure full: force the oldest entry out immediately by
+		// pulling its deadline to now (never drop a preventive refresh —
+		// that would break the security guarantee).
+		m.Dropped++
+		e.deadline = now
+	}
+	b.prDepth++
+	b.queue = append(b.queue, e)
+	m.GeneratedPreventive++
+}
+
+// chooseSubarray picks, among candidate subarrays, the one with the fewest
+// rows refreshed this window (§5.1.3: advance pointers in a balanced
+// manner). Returns -1 if candidates is empty.
+func (b *bankRC) chooseSubarray(candidates []int) int {
+	best, bestCount := -1, int(^uint(0)>>1)
+	for _, sa := range candidates {
+		if b.refreshed[sa] < bestCount {
+			best, bestCount = sa, b.refreshed[sa]
+		}
+	}
+	return best
+}
+
+// allSubarrays is a reusable index list for unconstrained choices.
+func (m *HiRAMC) allSubarrays() []int {
+	out := make([]int, m.cfg.Org.SubarraysPerBank)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Piggyback implements sched.RefreshEngine: Case 1 of §5.1.3. The demand
+// access is about to activate loc.Row; offer a row whose subarray is
+// isolated from the demand row's subarray.
+func (m *HiRAMC) Piggyback(loc dram.Location, now dram.Time) (int, bool) {
+	if m.cfg.SPT == nil {
+		return 0, false
+	}
+	b := m.bank(loc.Channel, loc.Rank, loc.Bank)
+	b.offered = nil
+	if b.armed != nil || len(b.queue) == 0 {
+		return 0, false
+	}
+	demandSA := m.cfg.Org.SubarrayOfRow(loc.Row)
+	// Iterate entries in deadline order (the queue is near-sorted:
+	// periodic entries are generated in deadline order, preventive ones
+	// appended with equal slack); find the earliest-deadline entry that
+	// can pair with the demand subarray. Only entries whose deadline is
+	// approaching are worth hiding: a refresh with ample slack left can
+	// still ride a later access or an idle-bank window, while the HiRA
+	// prologue taxes this access by t1+t2 and an extra activation now.
+	urgency := 2 * m.cfg.Timing.TRC
+	bestIdx := -1
+	var bestDeadline dram.Time
+	for i := range b.queue {
+		e := &b.queue[i]
+		if e.deadline-now > urgency {
+			continue
+		}
+		if e.preventive {
+			if m.cfg.Preventive != PreventiveHiRA {
+				continue
+			}
+			if !m.cfg.SPT.Isolated(demandSA, m.cfg.Org.SubarrayOfRow(e.row)) {
+				continue
+			}
+		} else {
+			if m.cfg.Periodic != PeriodicHiRA {
+				continue
+			}
+		}
+		if bestIdx < 0 || e.deadline < bestDeadline {
+			bestIdx, bestDeadline = i, e.deadline
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+	e := b.queue[bestIdx]
+	row := e.row
+	if !e.preventive {
+		sa := b.chooseSubarray(m.cfg.SPT.Partners(demandSA))
+		if sa < 0 {
+			return 0, false
+		}
+		// Refresh-completeness guard: only piggyback if the chosen
+		// subarray is not ahead of the globally least-refreshed one.
+		// Otherwise decline; the entry will reach its deadline and be
+		// performed on the most-starved subarray, so subarrays that are
+		// never isolated from the demand stream's subarrays still meet
+		// tREFW.
+		if b.refreshed[sa] > b.minRefreshed()+2 {
+			return 0, false
+		}
+		row = sa*m.cfg.Org.RowsPerSubarray + b.refPtr[sa]
+	}
+	b.offered = &b.queue[bestIdx]
+	b.offeredRow = row
+	return row, true
+}
+
+// Mandatory implements sched.RefreshEngine: Case 2 of §5.1.3. Entries
+// whose deadline is within the lead window must be performed now, paired
+// with another queued refresh when possible. Each bank may carry one
+// armed op; banks are independent, so all armed ops are offered and the
+// controller starts what resources allow.
+func (m *HiRAMC) Mandatory(channel int, now dram.Time) []sched.Op {
+	m.scratch = m.scratch[:0]
+	if m.ref != nil {
+		m.scratch = append(m.scratch, m.ref.Mandatory(channel, now)...)
+	}
+	org := m.cfg.Org
+	base := channel * org.RanksPerChannel * org.BanksPerRank()
+	perChan := org.RanksPerChannel * org.BanksPerRank()
+
+	for rb := 0; rb < perChan; rb++ {
+		b := m.banks[base+rb]
+		if b.armed == nil {
+			// Arm the earliest due entry of this bank, if any.
+			idx := -1
+			for i := range b.queue {
+				e := &b.queue[i]
+				if e.deadline-now > m.lead {
+					continue
+				}
+				if idx < 0 || e.deadline < b.queue[idx].deadline {
+					idx = i
+				}
+			}
+			if idx >= 0 {
+				m.armOp(b, rb/org.BanksPerRank(), rb%org.BanksPerRank(), idx)
+			}
+		}
+		if b.armed != nil {
+			m.scratch = append(m.scratch, *b.armed)
+		}
+	}
+	return m.scratch
+}
+
+// armOp converts the queue entry at idx (and, when possible, a pairable
+// second entry) into a concrete refresh op, consuming the entries.
+func (m *HiRAMC) armOp(b *bankRC, rank, bank, idx int) sched.Op {
+	e := b.queue[idx]
+	rowA, saA := m.resolveRow(b, e, -1)
+
+	kind := sched.OpRowRefresh
+	if e.preventive && m.cfg.Preventive == PreventiveImmediate {
+		kind = sched.OpRowRefreshBlocking
+	}
+	op := sched.Op{Kind: kind, Rank: rank, Bank: bank, RowA: rowA, RowB: -1}
+	consumed := []int{idx}
+
+	if m.cfg.SPT != nil {
+		// Refresh-refresh parallelization: find a second entry whose row
+		// can share a HiRA operation with rowA.
+		for j := range b.queue {
+			if j == idx {
+				continue
+			}
+			e2 := b.queue[j]
+			rowB, _ := m.resolveRow(b, e2, saA)
+			if rowB < 0 {
+				continue
+			}
+			if !m.cfg.SPT.Isolated(saA, m.cfg.Org.SubarrayOfRow(rowB)) {
+				continue
+			}
+			op = sched.Op{Kind: sched.OpHiRAPair, Rank: rank, Bank: bank, RowA: rowA, RowB: rowB}
+			consumed = append(consumed, j)
+			break
+		}
+	}
+
+	// Consume entries (highest index first to keep indices valid).
+	if len(consumed) == 2 && consumed[1] < consumed[0] {
+		consumed[0], consumed[1] = consumed[1], consumed[0]
+	}
+	for i := len(consumed) - 1; i >= 0; i-- {
+		j := consumed[i]
+		if b.queue[j].preventive {
+			b.prDepth--
+		}
+		b.queue = append(b.queue[:j], b.queue[j+1:]...)
+	}
+	b.armed = &op
+	b.armedCount = len(consumed)
+	b.offered = nil
+	return op
+}
+
+// resolveRow returns the concrete row for an entry. For periodic entries
+// the RefPtr table picks a row: from any subarray when partnerSA < 0, or
+// from a subarray isolated from partnerSA. Returns row = -1 when no
+// eligible subarray exists.
+func (m *HiRAMC) resolveRow(b *bankRC, e refEntry, partnerSA int) (row, sa int) {
+	if e.preventive {
+		return e.row, m.cfg.Org.SubarrayOfRow(e.row)
+	}
+	var candidates []int
+	if partnerSA < 0 {
+		candidates = m.allSubarrays()
+	} else {
+		candidates = m.cfg.SPT.Partners(partnerSA)
+	}
+	sa = b.chooseSubarray(candidates)
+	if sa < 0 {
+		return -1, -1
+	}
+	if partnerSA >= 0 && b.refreshed[sa] > b.minRefreshed()+2 {
+		// Same completeness guard as Piggyback: a partner-constrained
+		// choice must not run ahead of the most-starved subarray.
+		return -1, -1
+	}
+	return sa*m.cfg.Org.RowsPerSubarray + b.refPtr[sa], sa
+}
+
+// NoteRefreshed implements sched.RefreshEngine: bookkeeping when the
+// controller performs refresh work.
+func (m *HiRAMC) NoteRefreshed(op sched.Op, channel int, now dram.Time) {
+	if op.Kind == sched.OpRankREF {
+		if m.ref != nil {
+			m.ref.NoteRefreshed(op, channel, now)
+		}
+		return
+	}
+	b := m.bank(channel, op.Rank, op.Bank)
+	if b.armed != nil && b.armed.RowA == op.RowA && b.armed.RowB == op.RowB && b.armed.Kind == op.Kind {
+		m.advancePtr(b, op.RowA)
+		if op.Kind == sched.OpHiRAPair {
+			m.advancePtr(b, op.RowB)
+		}
+		b.armed = nil
+		b.armedCount = 0
+		return
+	}
+	// Piggyback confirmation: consume the offered entry.
+	if b.offered != nil && b.offeredRow == op.RowA {
+		for i := range b.queue {
+			if &b.queue[i] == b.offered {
+				if b.queue[i].preventive {
+					b.prDepth--
+				}
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				break
+			}
+		}
+		b.offered = nil
+		m.advancePtr(b, op.RowA)
+	}
+}
+
+// advancePtr records that row was refreshed. Only periodic refreshes (row
+// at the subarray's RefPtr) advance the pointer and the balance count:
+// preventive refreshes restore single rows, which must not starve a
+// subarray's periodic rotation.
+func (m *HiRAMC) advancePtr(b *bankRC, row int) {
+	if row < 0 {
+		return
+	}
+	sa := m.cfg.Org.SubarrayOfRow(row)
+	if row == sa*m.cfg.Org.RowsPerSubarray+b.refPtr[sa] {
+		b.refPtr[sa] = (b.refPtr[sa] + 1) % m.cfg.Org.RowsPerSubarray
+		b.refreshed[sa]++
+	}
+}
+
+// minRefreshed returns the smallest per-subarray periodic refresh count.
+func (b *bankRC) minRefreshed() int {
+	min := b.refreshed[0]
+	for _, v := range b.refreshed[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// PendingRefreshes returns the total Refresh Table occupancy (for tests).
+func (m *HiRAMC) PendingRefreshes() int {
+	n := 0
+	for _, b := range m.banks {
+		n += len(b.queue)
+		if b.armed != nil {
+			n += b.armedCount
+		}
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+// Package cpu models the processor front end of the simulated system
+// (Table 3: 3.2 GHz, 4-wide issue, 128-entry instruction window per core).
+//
+// The model is the standard trace-driven approximation used by
+// memory-system simulators: instructions issue in order at up to
+// Width per cycle; a load miss does not stall issue until it reaches the
+// head of the instruction window, so independent misses within the window
+// overlap (memory-level parallelism); stores retire through a write
+// buffer without blocking.
+package cpu
+
+import "hira/internal/workload"
+
+// MemRequest is a memory request a core asks the memory system to
+// perform.
+type MemRequest struct {
+	Addr  uint64
+	Write bool
+	Core  int
+	// Token identifies the request in Complete callbacks.
+	Token uint64
+}
+
+// Memory is the interface the core issues requests through. Issue returns
+// false when the memory system cannot accept the request this cycle (queue
+// full); the core retries.
+type Memory interface {
+	Issue(req MemRequest) bool
+}
+
+// Core is one simulated processor core fed by a workload generator.
+type Core struct {
+	ID     int
+	Width  int // issue width per core cycle (4)
+	Window int // instruction window size (128)
+
+	gen *workload.Generator
+	mem Memory
+
+	// Issue-side state.
+	issued  uint64 // instructions entered into the window
+	gapLeft int    // non-memory instructions before the next access
+	pending *workload.Access
+	token   uint64
+
+	// Outstanding loads, in program order: instruction positions of
+	// misses whose data has not returned.
+	outstanding []outstandingLoad
+
+	// Retired counts completed instructions (the IPC numerator).
+	Retired uint64
+
+	// Stats.
+	LoadsIssued, StoresIssued uint64
+	StallCycles               float64
+}
+
+type outstandingLoad struct {
+	pos   uint64
+	token uint64
+	done  bool
+}
+
+// New returns a core reading from gen and issuing to mem.
+func New(id int, gen *workload.Generator, mem Memory) *Core {
+	return &Core{ID: id, Width: 4, Window: 128, gen: gen, mem: mem}
+}
+
+// Complete signals that the load identified by token has its data.
+func (c *Core) Complete(token uint64) {
+	for i := range c.outstanding {
+		if c.outstanding[i].token == token {
+			c.outstanding[i].done = true
+			break
+		}
+	}
+	// Retire completed loads from the head.
+	for len(c.outstanding) > 0 && c.outstanding[0].done {
+		c.outstanding = c.outstanding[1:]
+	}
+}
+
+// windowHead returns the instruction position of the oldest incomplete
+// load, or issued if none (no retirement blockage).
+func (c *Core) windowHead() uint64 {
+	if len(c.outstanding) == 0 {
+		return c.issued
+	}
+	return c.outstanding[0].pos
+}
+
+// Tick advances the core by budget instruction slots (width x core cycles
+// for the elapsed wall time) and updates Retired.
+func (c *Core) Tick(budget float64) {
+	slots := int(budget)
+	for slots > 0 {
+		// Window full: the oldest miss blocks issue once the window is
+		// exhausted.
+		if c.issued-c.windowHead() >= uint64(c.Window) {
+			c.StallCycles += float64(slots)
+			break
+		}
+		if c.gapLeft > 0 {
+			n := c.gapLeft
+			if n > slots {
+				n = slots
+			}
+			// Cap issue to the window boundary.
+			if room := int(uint64(c.Window) - (c.issued - c.windowHead())); n > room {
+				n = room
+			}
+			c.gapLeft -= n
+			c.issued += uint64(n)
+			slots -= n
+			continue
+		}
+		if c.pending == nil {
+			a := c.gen.Next()
+			c.pending = &a
+			c.gapLeft = a.Gap
+			continue
+		}
+		// A memory access is at the issue point.
+		a := *c.pending
+		c.token++
+		req := MemRequest{Addr: a.Addr, Write: a.Write, Core: c.ID, Token: c.token}
+		if !c.mem.Issue(req) {
+			// Queue full: retry next tick.
+			c.StallCycles += float64(slots)
+			break
+		}
+		if a.Write {
+			c.StoresIssued++
+			// Stores retire through the write buffer immediately.
+		} else {
+			c.LoadsIssued++
+			c.outstanding = append(c.outstanding, outstandingLoad{pos: c.issued, token: c.token})
+		}
+		c.issued++
+		slots--
+		c.pending = nil
+	}
+	// Retirement: everything up to the oldest incomplete load has
+	// retired.
+	c.Retired = c.windowHead()
+}
+
+// IPC returns retired instructions per core cycle over elapsed cycles.
+func (c *Core) IPC(cycles float64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(c.Retired) / cycles
+}

@@ -1,0 +1,83 @@
+package dram
+
+import "fmt"
+
+// Kind enumerates the DDR4 commands relevant to HiRA.
+type Kind uint8
+
+const (
+	// KindNone is the zero Kind; it is never a valid command.
+	KindNone Kind = iota
+	// KindACT opens (activates) a row in a bank.
+	KindACT
+	// KindPRE precharges one bank, closing its open row.
+	KindPRE
+	// KindPREA precharges all banks in a rank.
+	KindPREA
+	// KindRD reads a column of the open row.
+	KindRD
+	// KindWR writes a column of the open row.
+	KindWR
+	// KindREF performs an all-bank refresh on a rank, occupying it for tRFC.
+	KindREF
+)
+
+var kindNames = [...]string{"NONE", "ACT", "PRE", "PREA", "RD", "WR", "REF"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// HiRAPhase marks a command's role within a HiRA ACT–PRE–ACT sequence.
+// Commands outside HiRA sequences use HiRANone.
+type HiRAPhase uint8
+
+const (
+	// HiRANone marks an ordinary command.
+	HiRANone HiRAPhase = iota
+	// HiRAFirstACT is the first activation of a HiRA sequence; it targets
+	// the row being refreshed "in the background" (RowA in the paper).
+	HiRAFirstACT
+	// HiRAInterruptPRE is the precharge issued t1 after HiRAFirstACT and
+	// interrupted t2 later; it deliberately violates tRAS.
+	HiRAInterruptPRE
+	// HiRASecondACT is the second activation, issued t2 after the
+	// interrupted precharge; it targets the row being refreshed or
+	// accessed in the foreground (RowB in the paper) and deliberately
+	// violates tRP.
+	HiRASecondACT
+)
+
+var phaseNames = [...]string{"", "hira1", "hiraPRE", "hira2"}
+
+func (p HiRAPhase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("HiRAPhase(%d)", uint8(p))
+}
+
+// Command is one DRAM command with its issue time and target.
+type Command struct {
+	Kind Kind
+	// At is the time the command is placed on the command bus.
+	At Time
+	// Loc targets the command. REF and PREA use only Channel and Rank;
+	// PRE uses Channel/Rank/Bank; ACT adds Row; RD/WR add Col.
+	Loc Location
+	// Phase marks HiRA sequence membership (see HiRAPhase).
+	Phase HiRAPhase
+	// AutoPrecharge, when set on RD/WR, closes the row after the access.
+	AutoPrecharge bool
+}
+
+func (c Command) String() string {
+	s := fmt.Sprintf("%v %v @%v", c.Kind, c.Loc, c.At)
+	if c.Phase != HiRANone {
+		s += " [" + c.Phase.String() + "]"
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package dram
+
+import "fmt"
+
+// AddressMapper translates physical byte addresses to DRAM locations.
+type AddressMapper interface {
+	// Map decodes a physical byte address into a DRAM location. The
+	// column is in units of cache blocks within the row.
+	Map(addr uint64) Location
+}
+
+// MOPMapper implements a Minimalist-Open-Page style address mapping
+// (Kaseridis et al., MICRO'11), the mapping the paper's Table 3 uses.
+//
+// MOP keeps a small run of consecutive cache blocks (the MOP group) in the
+// same row to preserve spatial locality, then interleaves successive groups
+// across channels, bank groups, banks, and ranks to maximize parallelism.
+// Address bits, from least significant:
+//
+//	[block offset | group offset | channel | bank group | bank | rank | column-high | row]
+type MOPMapper struct {
+	org Org
+	// groupBlocks is the number of consecutive cache blocks kept in a row
+	// before interleaving moves to the next channel/bank.
+	groupBlocks int
+	blockBytes  int
+}
+
+// NewMOPMapper returns a MOP mapper over org with 64-byte cache blocks and
+// 4-block MOP groups.
+func NewMOPMapper(org Org) *MOPMapper {
+	return &MOPMapper{org: org, groupBlocks: 4, blockBytes: 64}
+}
+
+// BlockBytes returns the cache-block granularity of the mapping.
+func (m *MOPMapper) BlockBytes() int { return m.blockBytes }
+
+// Map implements AddressMapper.
+func (m *MOPMapper) Map(addr uint64) Location {
+	o := m.org
+	blocksPerRow := uint64(o.RowBytes / m.blockBytes)
+
+	a := addr / uint64(m.blockBytes)
+	groupOff := a % uint64(m.groupBlocks)
+	a /= uint64(m.groupBlocks)
+	ch := a % uint64(o.Channels)
+	a /= uint64(o.Channels)
+	bg := a % uint64(o.BankGroups)
+	a /= uint64(o.BankGroups)
+	bank := a % uint64(o.BanksPerGroup)
+	a /= uint64(o.BanksPerGroup)
+	rank := a % uint64(o.RanksPerChannel)
+	a /= uint64(o.RanksPerChannel)
+	groupsPerRow := blocksPerRow / uint64(m.groupBlocks)
+	colGroup := a % groupsPerRow
+	a /= groupsPerRow
+	row := a % uint64(o.RowsPerBank())
+
+	return Location{
+		BankID: BankID{
+			Channel: int(ch),
+			Rank:    int(rank),
+			Bank:    int(bg)*o.BanksPerGroup + int(bank),
+		},
+		Row: int(row),
+		Col: int(colGroup)*m.groupBlocks + int(groupOff),
+	}
+}
+
+// RowStride returns the smallest address increment that changes only the
+// row, keeping channel/rank/bank fixed. Useful for constructing adversarial
+// (row-conflict) access patterns in tests and workloads.
+func (m *MOPMapper) RowStride() uint64 {
+	o := m.org
+	blocksPerRow := uint64(o.RowBytes / m.blockBytes)
+	return uint64(m.blockBytes) * uint64(m.groupBlocks) *
+		uint64(o.Channels) * uint64(o.BankGroups) * uint64(o.BanksPerGroup) *
+		uint64(o.RanksPerChannel) * (blocksPerRow / uint64(m.groupBlocks))
+}
+
+// Validate checks that the mapper's organization is usable.
+func (m *MOPMapper) Validate() error {
+	if err := m.org.Validate(); err != nil {
+		return err
+	}
+	if m.org.RowBytes%m.blockBytes != 0 {
+		return fmt.Errorf("dram: row size %d not a multiple of block size %d", m.org.RowBytes, m.blockBytes)
+	}
+	if (m.org.RowBytes/m.blockBytes)%m.groupBlocks != 0 {
+		return fmt.Errorf("dram: blocks per row not a multiple of MOP group %d", m.groupBlocks)
+	}
+	return nil
+}

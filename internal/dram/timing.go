@@ -1,0 +1,160 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Timing is a DRAM timing parameter set. All values are durations in
+// picoseconds (dram.Time).
+//
+// The subset modelled here is the one the HiRA paper's evaluation depends
+// on: row timing (tRCD/tRAS/tRP/tRC), refresh (tRFC/tREFI/tREFW), power
+// (tFAW), column access and bus occupancy (CL/CWL/tBL/tCCD/tRTP/tWR), and
+// the HiRA-specific t1/t2 command spacings.
+type Timing struct {
+	// TCK is the command-clock period. One command can be issued per TCK
+	// per channel command bus.
+	TCK Time
+
+	// Row commands.
+	TRCD Time // ACT -> RD/WR
+	TRAS Time // ACT -> PRE (charge restoration complete)
+	TRP  Time // PRE -> ACT (bitline precharge complete)
+	TRC  Time // ACT -> ACT, same bank (tRAS + tRP)
+
+	// Refresh.
+	TRFC  Time // REF -> next command to the rank
+	TREFI Time // average interval between REF commands
+	TREFW Time // retention window: every row refreshed once per TREFW
+
+	// Power constraint: at most four ACTs to a rank per rolling TFAW.
+	TFAW Time
+
+	// Column access.
+	CL    Time // RD -> data start (CAS latency)
+	CWL   Time // WR -> data start (CAS write latency)
+	TBL   Time // data burst duration (BL8)
+	TCCD  Time // RD->RD / WR->WR minimum spacing, same bank group
+	TRTP  Time // RD -> PRE
+	TWR   Time // end of write burst -> PRE (write recovery)
+	TRRD  Time // ACT -> ACT, different bank groups, same rank (tRRD_S)
+	TRRDL Time // ACT -> ACT, same bank group (tRRD_L)
+
+	// HiRA command spacings (§3): T1 is the first-ACT-to-PRE latency and
+	// T2 the PRE-to-second-ACT latency of a HiRA sequence. The paper's
+	// characterization finds T1 = T2 = 3 ns reliable.
+	T1 Time
+	T2 Time
+}
+
+// DDR4_2400 returns the DDR4-2400 timing set used throughout the paper
+// (Table 3: tRC = 46.25 ns, tFAW = 16 ns, t1 = t2 = 3 ns), with tRFC set
+// for the given chip capacity via RefreshLatencyForCapacity.
+func DDR4_2400(chipCapacityGbit int) Timing {
+	t := Timing{
+		TCK:   FromNanoseconds(0.833),
+		TRCD:  FromNanoseconds(14.25),
+		TRAS:  FromNanoseconds(32.0),
+		TRP:   FromNanoseconds(14.25),
+		TRC:   FromNanoseconds(46.25),
+		TRFC:  RefreshLatencyForCapacity(chipCapacityGbit),
+		TREFI: FromNanoseconds(7800),
+		TREFW: 64 * Millisecond,
+		TFAW:  FromNanoseconds(16),
+		CL:    FromNanoseconds(13.32),
+		CWL:   FromNanoseconds(10.0),
+		TBL:   FromNanoseconds(3.33),
+		TCCD:  FromNanoseconds(5.0),
+		TRTP:  FromNanoseconds(7.5),
+		TWR:   FromNanoseconds(15.0),
+		TRRD:  FromNanoseconds(3.3),
+		TRRDL: FromNanoseconds(4.9),
+		T1:    3 * Nanosecond,
+		T2:    3 * Nanosecond,
+	}
+	return t
+}
+
+// RefreshLatencyForCapacity implements the paper's Expression 1, the
+// state-of-the-art regression model for projecting refresh latency to
+// high-capacity chips:
+//
+//	tRFC = 110 ns × C^0.6, C in Gbit.
+func RefreshLatencyForCapacity(gbit int) Time {
+	return FromNanoseconds(110 * math.Pow(float64(gbit), 0.6))
+}
+
+// Validate reports the first internally inconsistent parameter, if any.
+func (t Timing) Validate() error {
+	pos := func(name string, v Time) error {
+		if v <= 0 {
+			return fmt.Errorf("dram: Timing.%s must be positive, got %v", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    Time
+	}{
+		{"TCK", t.TCK}, {"TRCD", t.TRCD}, {"TRAS", t.TRAS}, {"TRP", t.TRP},
+		{"TRC", t.TRC}, {"TRFC", t.TRFC}, {"TREFI", t.TREFI}, {"TREFW", t.TREFW},
+		{"TFAW", t.TFAW}, {"CL", t.CL}, {"CWL", t.CWL}, {"TBL", t.TBL},
+		{"TCCD", t.TCCD}, {"TRTP", t.TRTP}, {"TWR", t.TWR}, {"TRRD", t.TRRD}, {"TRRDL", t.TRRDL},
+		{"T1", t.T1}, {"T2", t.T2},
+	} {
+		if err := pos(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if t.TRC < t.TRAS+t.TRP {
+		return fmt.Errorf("dram: tRC (%v) < tRAS+tRP (%v)", t.TRC, t.TRAS+t.TRP)
+	}
+	if t.TREFI >= t.TREFW {
+		return fmt.Errorf("dram: tREFI (%v) >= tREFW (%v)", t.TREFI, t.TREFW)
+	}
+	if t.TRFC >= t.TREFI {
+		return fmt.Errorf("dram: tRFC (%v) >= tREFI (%v): refresh would starve the rank", t.TRFC, t.TREFI)
+	}
+	return nil
+}
+
+// HiRAPairLatency returns the total latency of refreshing two rows with one
+// HiRA operation: t1 + t2 + tRAS (the paper's 38 ns with t1 = t2 = 3 ns).
+func (t Timing) HiRAPairLatency() Time { return t.T1 + t.T2 + t.TRAS }
+
+// ConventionalPairLatency returns the latency of refreshing two rows with
+// nominal timings: tRAS + tRP + tRAS (the paper's 78.25 ns).
+func (t Timing) ConventionalPairLatency() Time { return t.TRAS + t.TRP + t.TRAS }
+
+// HiRAPairSavings returns the fractional latency reduction of
+// HiRAPairLatency over ConventionalPairLatency (the paper's 51.4 %).
+func (t Timing) HiRAPairSavings() float64 {
+	c := t.ConventionalPairLatency()
+	return float64(c-t.HiRAPairLatency()) / float64(c)
+}
+
+// RowsPerREF returns how many rows one REF command must refresh in each
+// bank so that all rows are covered within tREFW: rowsPerBank / (tREFW /
+// tREFI). For the paper's 64 K-row banks this is 8.
+func (t Timing) RowsPerREF(rowsPerBank int) int {
+	refsPerWindow := int(t.TREFW / t.TREFI)
+	if refsPerWindow == 0 {
+		return rowsPerBank
+	}
+	n := (rowsPerBank + refsPerWindow - 1) / refsPerWindow
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PeriodicRowInterval returns how often one row-granularity refresh must be
+// generated per bank to cover rowsPerBank rows within tREFW (the paper's
+// 975 ns for 64 K rows).
+func (t Timing) PeriodicRowInterval(rowsPerBank int) Time {
+	if rowsPerBank <= 0 {
+		return t.TREFW
+	}
+	return t.TREFW / Time(rowsPerBank)
+}

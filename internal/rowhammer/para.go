@@ -1,0 +1,155 @@
+// Package rowhammer implements PARA (Probabilistic Row Activation, Kim et
+// al. ISCA'14) and the HiRA paper's revisited security analysis (§9.1):
+// the overall RowHammer success probability accounting for repeated attack
+// attempts within a refresh window (Expressions 2-9) and the probability
+// threshold solver targeting the consumer reliability level of 1e-15.
+package rowhammer
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReliabilityTarget is the consumer memory reliability target the paper
+// solves pth against (§9.1 Step 5).
+const ReliabilityTarget = 1e-15
+
+// Config fixes the system constants of the analysis.
+type Config struct {
+	// ActivationsPerWindow is tREFW / tRC: the maximum number of row
+	// activations an attacker can perform in one refresh window
+	// (64 ms / 46.25 ns ≈ 1.38M in the paper's setup).
+	ActivationsPerWindow float64
+}
+
+// DefaultConfig uses the paper's tREFW = 64 ms and tRC = 46.25 ns.
+func DefaultConfig() Config {
+	return Config{ActivationsPerWindow: 64e-3 / 46.25e-9}
+}
+
+// LegacySuccessProbability is PARA-Legacy's model (§9.1.3):
+// pRH = (1 - pth/2)^NRH, assuming the attacker hammers exactly enough
+// times and no more.
+func LegacySuccessProbability(pth float64, nrh int) float64 {
+	return math.Exp(float64(nrh) * math.Log1p(-pth/2))
+}
+
+// LegacyPth solves LegacySuccessProbability(pth, nrh) = target.
+func LegacyPth(nrh int, target float64) float64 {
+	return 2 * (1 - math.Exp(math.Log(target)/float64(nrh)))
+}
+
+// SuccessProbability evaluates Expression 8: the overall RowHammer success
+// probability for a given pth, RowHammer threshold, and refresh slack
+// expressed in activations (NRefSlack = tRefSlack / tRC):
+//
+//	pRH = Σ_{Nf=0}^{Nfmax} (1-pth/2)^(Nf+NRH-NRefSlack) × (pth/2)^Nf,
+//	Nfmax = (tREFW/tRC - NRH - NRefSlack) / 2     (Expression 7)
+//
+// The sum is a geometric series in q(1-q) with q = pth/2, evaluated in
+// closed form; computation is done in log space to survive large NRH.
+func (c Config) SuccessProbability(pth float64, nrh int, nRefSlack float64) float64 {
+	if pth <= 0 {
+		return 1
+	}
+	if pth >= 1 {
+		pth = 1
+	}
+	q := pth / 2
+	exponent := float64(nrh) - nRefSlack
+	if exponent < 0 {
+		exponent = 0
+	}
+	nfMax := (c.ActivationsPerWindow - float64(nrh) - nRefSlack) / 2
+	if nfMax < 0 {
+		nfMax = 0
+	}
+	// log((1-q)^exponent)
+	logLead := exponent * math.Log1p(-q)
+	// Geometric series Σ_{0..nfMax} r^Nf with r = q(1-q).
+	r := q * (1 - q)
+	var logSum float64
+	if r <= 0 {
+		logSum = 0
+	} else {
+		// 1 - r^(nfMax+1) never underflows harmfully: r <= 1/4.
+		num := 1 - math.Exp((nfMax+1)*math.Log(r))
+		logSum = math.Log(num / (1 - r))
+	}
+	return math.Exp(logLead + logSum)
+}
+
+// KFactor is Expression 9's k: the ratio between the revisited success
+// probability and PARA-Legacy's, for the same pth.
+func (c Config) KFactor(pth float64, nrh int, nRefSlack float64) float64 {
+	legacy := LegacySuccessProbability(pth, nrh)
+	if legacy == 0 {
+		return math.Inf(1)
+	}
+	return c.SuccessProbability(pth, nrh, nRefSlack) / legacy
+}
+
+// SolvePth finds the smallest pth whose overall success probability meets
+// the target (§9.1 Step 5's iterative evaluation, done by bisection).
+func (c Config) SolvePth(nrh int, nRefSlack float64, target float64) (float64, error) {
+	if nrh <= 0 {
+		return 0, fmt.Errorf("rowhammer: NRH must be positive, got %d", nrh)
+	}
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("rowhammer: target %g out of (0,1)", target)
+	}
+	lo, hi := 0.0, 1.0
+	if c.SuccessProbability(hi, nrh, nRefSlack) > target {
+		return 0, fmt.Errorf("rowhammer: target %g unreachable even at pth=1 for NRH=%d", target, nrh)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if c.SuccessProbability(mid, nrh, nRefSlack) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// Fig11Point is one point of Fig. 11: a configuration's solved pth and the
+// success probability that PARA-Legacy's pth would actually yield under
+// the revisited model.
+type Fig11Point struct {
+	NRH       int
+	SlackTRC  int     // tRefSlack in units of tRC (0, 2, 4, 8)
+	Pth       float64 // revisited pth meeting the 1e-15 target
+	LegacyPth float64
+	LegacyPRH float64 // revisited pRH when using PARA-Legacy's pth
+	K         float64 // Expression 9's k at the legacy pth
+}
+
+// Fig11NRHValues is the x-axis of Fig. 11.
+func Fig11NRHValues() []int { return []int{64, 128, 256, 512, 1024} }
+
+// Fig11SlackValues is the tRefSlack sweep of Fig. 11 in units of tRC.
+func Fig11SlackValues() []int { return []int{0, 2, 4, 8} }
+
+// Fig11 computes the full Fig. 11 grid.
+func (c Config) Fig11() ([]Fig11Point, error) {
+	var out []Fig11Point
+	for _, nrh := range Fig11NRHValues() {
+		for _, slack := range Fig11SlackValues() {
+			pth, err := c.SolvePth(nrh, float64(slack), ReliabilityTarget)
+			if err != nil {
+				return nil, err
+			}
+			lp := LegacyPth(nrh, ReliabilityTarget)
+			out = append(out, Fig11Point{
+				NRH:       nrh,
+				SlackTRC:  slack,
+				Pth:       pth,
+				LegacyPth: lp,
+				LegacyPRH: c.SuccessProbability(lp, nrh, float64(slack)),
+				K:         c.KFactor(lp, nrh, float64(slack)),
+			})
+		}
+	}
+	return out, nil
+}

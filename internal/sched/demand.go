@@ -1,0 +1,231 @@
+package sched
+
+import "hira/internal/dram"
+
+// scheduleDemand implements FR-FCFS with the open-row policy over the
+// channel's read and write queues.
+func (c *Controller) scheduleDemand(ch *channel) {
+	// Write drain hysteresis: serve writes when the write queue is high
+	// or there is nothing else to do.
+	if ch.draining {
+		if len(ch.writeQ) <= c.cfg.WriteLow {
+			ch.draining = false
+		}
+	} else if len(ch.writeQ) >= c.cfg.WriteHigh || (len(ch.readQ) == 0 && len(ch.writeQ) > 0) {
+		ch.draining = true
+	}
+
+	q := &ch.readQ
+	if ch.draining {
+		q = &ch.writeQ
+	}
+	if len(*q) == 0 {
+		if !ch.draining && len(ch.writeQ) > 0 {
+			q = &ch.writeQ
+		} else {
+			return
+		}
+	}
+
+	// Pass 1 (FR): first-ready row hits — oldest first.
+	for i, r := range *q {
+		bank := c.bank(ch, r.Loc.Rank, r.Loc.Bank)
+		if bank.reserved || !bank.open || bank.row != r.Loc.Row {
+			continue
+		}
+		if c.now < bank.readyCol || c.now < ch.ranks[r.Loc.Rank].refBusy {
+			continue
+		}
+		if c.issueColumn(ch, r) {
+			c.Stats.RowHits++
+			removeAt(q, i)
+			return
+		}
+	}
+
+	// Pass 2 (FCFS): oldest request needing an ACT on a closed, ready
+	// bank.
+	for i, r := range *q {
+		bank := c.bank(ch, r.Loc.Rank, r.Loc.Bank)
+		if bank.reserved || bank.open {
+			continue
+		}
+		if c.now < bank.readyACT {
+			continue
+		}
+		if c.tryActivate(ch, q, i, r) {
+			return
+		}
+	}
+
+	// Pass 3: oldest request blocked by a row conflict; close the row if
+	// no queued request still hits it (open-row policy).
+	for _, r := range *q {
+		bank := c.bank(ch, r.Loc.Rank, r.Loc.Bank)
+		if bank.reserved || !bank.open || bank.row == r.Loc.Row {
+			continue
+		}
+		if c.now < bank.readyPRE || c.now < ch.ranks[r.Loc.Rank].refBusy {
+			continue
+		}
+		// Open-row policy: keep the row open only while requests in the
+		// queue currently being served still hit it. (Hits in the other
+		// queue must not veto the precharge — a row-hit write would
+		// otherwise deadlock conflicting reads below the write-drain
+		// watermark.)
+		if anyHit(*q, r.Loc.Rank, r.Loc.Bank, bank.row) {
+			continue
+		}
+		c.emit(ch, dram.Command{Kind: dram.KindPRE,
+			Loc: dram.Location{BankID: dram.BankID{Rank: r.Loc.Rank, Bank: r.Loc.Bank}}})
+		c.Stats.PREs++
+		c.Stats.RowMisses++
+		bank.open = false
+		bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
+		return
+	}
+}
+
+// tryActivate issues the ACT for request r, possibly as a HiRA prologue
+// hiding a refresh (refresh-access parallelization). Returns true if a
+// command was issued.
+func (c *Controller) tryActivate(ch *channel, q *[]*Request, i int, r *Request) bool {
+	t := c.cfg.Timing
+	// Ask the engine for a piggyback row (Case 1 of §5.1.3).
+	if ch.seq == nil {
+		if row, ok := c.engine.Piggyback(dram.Location{
+			BankID: dram.BankID{Channel: ch.id, Rank: r.Loc.Rank, Bank: r.Loc.Bank},
+			Row:    r.Loc.Row,
+		}, c.now); ok {
+			// Two activations t1+t2 apart: check power headroom for both.
+			if c.canACT(ch, r.Loc.Rank, r.Loc.Bank, 2, t.T1+t.T2) {
+				c.startHiRASequence(ch, r.Loc.Rank, r.Loc.Bank, row, r.Loc.Row, true, nil)
+				c.Stats.HiRAPiggybacks++
+				c.engine.NoteRefreshed(Op{Kind: OpRowRefresh, Rank: r.Loc.Rank, Bank: r.Loc.Bank, RowA: row},
+					ch.id, c.now)
+				return true
+			}
+		}
+	}
+	// A HiRA sequence's pre-timed ACTs must not race demand ACTs on the
+	// same rank: the demand ACT must satisfy tRRD against the sequence's
+	// pending activations (an ACT to a different bank group may legally
+	// slot into the t1+t2 gap).
+	if s := ch.seq; s != nil && s.rank == r.Loc.Rank {
+		for _, sc := range s.cmds[s.next:] {
+			if sc.kind != dram.KindACT {
+				continue
+			}
+			need := t.TRRD
+			if sc.bank/c.cfg.Org.BanksPerGroup == r.Loc.Bank/c.cfg.Org.BanksPerGroup {
+				need = t.TRRDL
+			}
+			if sc.due-c.now < need {
+				c.Stats.SeqBlocked++
+				return false
+			}
+		}
+	}
+	if !c.canACT(ch, r.Loc.Rank, r.Loc.Bank, 1, 0) {
+		c.Stats.CanACTBlocked++
+		return false
+	}
+	bank := c.bank(ch, r.Loc.Rank, r.Loc.Bank)
+	c.emit(ch, dram.Command{Kind: dram.KindACT, Loc: r.Loc})
+	c.Stats.ACTs++
+	c.Stats.RowMisses++
+	c.noteACT(ch, r.Loc.Rank, r.Loc.Bank)
+	bank.open = true
+	bank.row = r.Loc.Row
+	bank.actAt = c.now
+	bank.readyCol = c.now + t.TRCD
+	bank.readyPRE = c.now + t.TRAS
+	bank.readyACT = c.now + t.TRC
+	c.engine.NoteActivate(dram.Location{
+		BankID: dram.BankID{Channel: ch.id, Rank: r.Loc.Rank, Bank: r.Loc.Bank},
+		Row:    r.Loc.Row,
+	}, true, c.now)
+	return true
+}
+
+// issueColumn issues the RD or WR for a request whose row is open. Returns
+// false if the data bus cannot carry the burst.
+func (c *Controller) issueColumn(ch *channel, r *Request) bool {
+	t := c.cfg.Timing
+	var dataAt dram.Time
+	if r.Write {
+		dataAt = c.now + t.CWL
+	} else {
+		dataAt = c.now + t.CL
+	}
+	if ch.dataBusFree > dataAt {
+		return false
+	}
+	bank := c.bank(ch, r.Loc.Rank, r.Loc.Bank)
+	kind := dram.KindRD
+	if r.Write {
+		kind = dram.KindWR
+	}
+	c.emit(ch, dram.Command{Kind: kind, Loc: r.Loc})
+	ch.dataBusFree = dataAt + t.TBL
+	bank.readyCol = c.now + t.TCCD
+	if r.Write {
+		bank.readyPRE = maxTime(bank.readyPRE, c.now+t.CWL+t.TBL+t.TWR)
+	} else {
+		bank.readyPRE = maxTime(bank.readyPRE, c.now+t.TRTP)
+		c.Stats.Reads++
+		c.Stats.ReadCount++
+		c.Stats.ReadLatencySum += dataAt + t.TBL - r.Arrive
+		if c.OnComplete != nil {
+			c.OnComplete(r.Core, r.Token, dataAt+t.TBL)
+		}
+	}
+	return true
+}
+
+// anyHit reports whether any request in q targets the open row.
+func anyHit(q []*Request, rank, bank, row int) bool {
+	for _, r := range q {
+		if r.Loc.Rank == rank && r.Loc.Bank == bank && r.Loc.Row == row {
+			return true
+		}
+	}
+	return false
+}
+
+func removeAt(q *[]*Request, i int) {
+	*q = append((*q)[:i], (*q)[i+1:]...)
+}
+
+// startHiRASequence begins the pre-timed ACT(RowA)-PRE-ACT(RowB) burst on
+// a precharged bank. If access is true, RowB is a demand row that will be
+// readable tRCD after the second ACT; otherwise RowB is also being
+// refreshed and a closing precharge is scheduled tRAS after the second
+// ACT (refresh-refresh parallelization; one PRE closes both rows).
+func (c *Controller) startHiRASequence(ch *channel, rank, bank, rowA, rowB int, access bool, done func(dram.Time)) {
+	t := c.cfg.Timing
+	bk := c.bank(ch, rank, bank)
+	cmds := []seqCmd{
+		{kind: dram.KindACT, phase: dram.HiRAFirstACT, rank: rank, bank: bank, row: rowA, due: c.now},
+		{kind: dram.KindPRE, phase: dram.HiRAInterruptPRE, rank: rank, bank: bank, row: rowA, due: c.now + t.T1},
+		{kind: dram.KindACT, phase: dram.HiRASecondACT, rank: rank, bank: bank, row: rowB, due: c.now + t.T1 + t.T2},
+	}
+	s := &sequence{cmds: cmds, rank: rank, access: access, done: done}
+	bk.reserved = true
+	secondAt := c.now + t.T1 + t.T2
+	if access {
+		// The demand row becomes schedulable once the second ACT issues.
+		s.onSecondACT = func(at dram.Time) { bk.reserved = false }
+	} else {
+		// Schedule the closing precharge tRAS after the second ACT; it
+		// clears the reservation.
+		s.onSecondACT = func(at dram.Time) {
+			bk.pendingPRE = true
+			bk.pendingPREAt = secondAt + t.TRAS
+		}
+	}
+	ch.seq = s
+	// The caller holds this tick's command-bus slot: issue the first ACT
+	// immediately so t1 is measured from the sequence's real start.
+	c.issueSeq(ch)
+}

@@ -1,0 +1,79 @@
+package sched
+
+import "hira/internal/dram"
+
+// NoRefresh is the ideal "No Refresh" configuration of Fig. 9a: the
+// controller performs no refresh work at all. It is an upper bound on
+// performance, not a correct DRAM controller.
+type NoRefresh struct{}
+
+// Tick implements RefreshEngine.
+func (NoRefresh) Tick(dram.Time) {}
+
+// Mandatory implements RefreshEngine.
+func (NoRefresh) Mandatory(int, dram.Time) []Op { return nil }
+
+// Piggyback implements RefreshEngine.
+func (NoRefresh) Piggyback(dram.Location, dram.Time) (int, bool) { return 0, false }
+
+// NoteActivate implements RefreshEngine.
+func (NoRefresh) NoteActivate(dram.Location, bool, dram.Time) {}
+
+// NoteRefreshed implements RefreshEngine.
+func (NoRefresh) NoteRefreshed(Op, int, dram.Time) {}
+
+// BaselineREF is the conventional refresh policy (§7's baseline): every
+// tREFI, each rank receives an all-bank REF that blocks it for tRFC.
+// Ranks are staggered by tREFI / ranks to avoid refreshing every rank at
+// once.
+type BaselineREF struct {
+	org     dram.Org
+	t       dram.Timing
+	nextAt  [][]dram.Time // [channel][rank]
+	scratch []Op
+}
+
+// NewBaselineREF returns the conventional engine.
+func NewBaselineREF(org dram.Org, t dram.Timing) *BaselineREF {
+	b := &BaselineREF{org: org, t: t}
+	b.nextAt = make([][]dram.Time, org.Channels)
+	for ch := range b.nextAt {
+		b.nextAt[ch] = make([]dram.Time, org.RanksPerChannel)
+		for rk := range b.nextAt[ch] {
+			b.nextAt[ch][rk] = t.TREFI * dram.Time(rk+1) / dram.Time(org.RanksPerChannel)
+		}
+	}
+	return b
+}
+
+// Tick implements RefreshEngine.
+func (b *BaselineREF) Tick(dram.Time) {}
+
+// Mandatory implements RefreshEngine.
+func (b *BaselineREF) Mandatory(channel int, now dram.Time) []Op {
+	b.scratch = b.scratch[:0]
+	for rk, at := range b.nextAt[channel] {
+		if now >= at {
+			b.scratch = append(b.scratch, Op{Kind: OpRankREF, Rank: rk})
+		}
+	}
+	return b.scratch
+}
+
+// Piggyback implements RefreshEngine.
+func (b *BaselineREF) Piggyback(dram.Location, dram.Time) (int, bool) { return 0, false }
+
+// NoteActivate implements RefreshEngine.
+func (b *BaselineREF) NoteActivate(dram.Location, bool, dram.Time) {}
+
+// NoteRefreshed implements RefreshEngine.
+func (b *BaselineREF) NoteRefreshed(op Op, channel int, now dram.Time) {
+	if op.Kind == OpRankREF {
+		b.nextAt[channel][op.Rank] += b.t.TREFI
+		if b.nextAt[channel][op.Rank] < now {
+			// Never let the schedule fall behind by more than one
+			// interval under heavy contention.
+			b.nextAt[channel][op.Rank] = now + b.t.TREFI
+		}
+	}
+}

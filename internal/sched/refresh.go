@@ -1,0 +1,127 @@
+package sched
+
+import "hira/internal/dram"
+
+// issueREFWork advances any in-progress rank REF: draining open banks,
+// then issuing the REF itself. Returns true if a command was issued.
+func (c *Controller) issueREFWork(ch *channel) bool {
+	for rank, rk := range ch.ranks {
+		if !rk.pendingREF {
+			continue
+		}
+		rk.refDrain = true
+		allClosed := true
+		base := rank * c.cfg.Org.BanksPerRank()
+		for b := 0; b < c.cfg.Org.BanksPerRank(); b++ {
+			bank := ch.banks[base+b]
+			if bank.reserved || (ch.seq != nil) {
+				allClosed = false
+				continue
+			}
+			if bank.open {
+				allClosed = false
+				if c.now >= bank.readyPRE {
+					c.emit(ch, dram.Command{Kind: dram.KindPRE,
+						Loc: dram.Location{BankID: dram.BankID{Rank: rank, Bank: b}}})
+					c.Stats.PREs++
+					bank.open = false
+					bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
+					return true
+				}
+			}
+		}
+		if !allClosed {
+			continue
+		}
+		// All banks precharged: issue the REF.
+		c.emit(ch, dram.Command{Kind: dram.KindREF,
+			Loc: dram.Location{BankID: dram.BankID{Rank: rank}}})
+		c.Stats.REFs++
+		rk.refBusy = c.now + c.cfg.Timing.TRFC
+		rk.pendingREF = false
+		rk.refDrain = false
+		for b := 0; b < c.cfg.Org.BanksPerRank(); b++ {
+			bank := ch.banks[base+b]
+			bank.readyACT = maxTime(bank.readyACT, rk.refBusy)
+		}
+		c.engine.NoteRefreshed(Op{Kind: OpRankREF, Rank: rank}, ch.id, c.now)
+		return true
+	}
+	return false
+}
+
+// startOp begins an engine-mandated refresh operation. Returns true if
+// work was started or a command issued.
+func (c *Controller) startOp(ch *channel, op Op) bool {
+	switch op.Kind {
+	case OpRankREF:
+		rk := ch.ranks[op.Rank]
+		if rk.pendingREF || c.now < rk.refBusy {
+			return false
+		}
+		rk.pendingREF = true
+		return c.issueREFWork(ch)
+
+	case OpRowRefresh, OpHiRAPair, OpRowRefreshBlocking:
+		bank := c.bank(ch, op.Rank, op.Bank)
+		rk := ch.ranks[op.Rank]
+		if bank.reserved || c.now < rk.refBusy || rk.refDrain {
+			return false
+		}
+		if bank.open {
+			// Precharge the target bank first (§5.1.3 Case 2).
+			if c.now < bank.readyPRE {
+				return false
+			}
+			c.emit(ch, dram.Command{Kind: dram.KindPRE,
+				Loc: dram.Location{BankID: dram.BankID{Rank: op.Rank, Bank: op.Bank}}})
+			c.Stats.PREs++
+			bank.open = false
+			bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
+			return true
+		}
+		if c.now < bank.readyACT {
+			return false
+		}
+		t := c.cfg.Timing
+		if op.Kind == OpHiRAPair {
+			if !c.canACT(ch, op.Rank, op.Bank, 2, t.T1+t.T2) {
+				return false
+			}
+			c.startHiRASequence(ch, op.Rank, op.Bank, op.RowA, op.RowB, false, nil)
+			c.Stats.HiRAPairs++
+			c.engine.NoteRefreshed(op, ch.id, c.now)
+			return true
+		}
+		// Standalone row refresh: ACT now, PRE after tRAS.
+		if !c.canACT(ch, op.Rank, op.Bank, 1, 0) {
+			return false
+		}
+		c.emit(ch, dram.Command{Kind: dram.KindACT,
+			Loc: dram.Location{BankID: dram.BankID{Rank: op.Rank, Bank: op.Bank}, Row: op.RowA}})
+		c.Stats.ACTs++
+		c.Stats.StandaloneRefreshes++
+		c.noteACT(ch, op.Rank, op.Bank)
+		bank.open = true
+		bank.row = op.RowA
+		bank.actAt = c.now
+		bank.readyCol = c.now + t.TRCD
+		bank.readyPRE = c.now + t.TRAS
+		bank.readyACT = c.now + t.TRC
+		bank.reserved = true
+		bank.pendingPRE = true
+		bank.pendingPREAt = c.now + t.TRAS
+		if op.Kind == OpRowRefreshBlocking {
+			// A conventional controller performs the preventive refresh
+			// atomically: the rank is held for a full row cycle.
+			rk.refBusy = c.now + t.TRC
+		}
+		c.engine.NoteRefreshed(op, ch.id, c.now)
+		c.engine.NoteActivate(dram.Location{
+			BankID: dram.BankID{Channel: ch.id, Rank: op.Rank, Bank: op.Bank},
+			Row:    op.RowA,
+		}, false, c.now)
+		return true
+	}
+	return false
+}

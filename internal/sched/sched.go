@@ -1,0 +1,472 @@
+// Package sched implements the cycle-level DDR4 memory request scheduler
+// of the simulated system (Table 3): FR-FCFS with an open-row policy,
+// 64-entry read and write queues per channel, per-bank timing state,
+// command- and data-bus contention, tFAW/tRRD power constraints, and
+// pluggable refresh engines (none, conventional rank-level REF, or
+// HiRA-MC via the RefreshEngine interface implemented in internal/core).
+//
+// The controller advances in command-clock ticks (tCK). Every command it
+// places on a channel's command bus can be captured through CommandHook,
+// which the test suite feeds to dram.Verifier to prove the scheduler never
+// violates timing constraints, and to dram.RefreshAuditor to prove no row
+// ever exceeds its retention window.
+package sched
+
+import (
+	"fmt"
+
+	"hira/internal/dram"
+)
+
+// Request is one memory request entering the controller.
+type Request struct {
+	Loc    dram.Location
+	Write  bool
+	Core   int
+	Token  uint64
+	Arrive dram.Time
+}
+
+// OpKind classifies a refresh operation demanded by a RefreshEngine.
+type OpKind uint8
+
+const (
+	// OpNone means no operation.
+	OpNone OpKind = iota
+	// OpRankREF is a conventional all-bank REF to a rank.
+	OpRankREF
+	// OpRowRefresh refreshes a single row with nominal ACT+PRE timing.
+	OpRowRefresh
+	// OpHiRAPair refreshes RowA concurrently with refreshing RowB using a
+	// HiRA sequence (refresh-refresh parallelization).
+	OpHiRAPair
+	// OpRowRefreshBlocking refreshes a single row the way a conventional
+	// (non-HiRA) controller performs a preventive refresh: as an atomic
+	// high-priority operation that holds the whole rank for a row cycle.
+	OpRowRefreshBlocking
+)
+
+// Op is a refresh operation the engine obliges the controller to perform.
+type Op struct {
+	Kind       OpKind
+	Rank, Bank int // Bank is rank-relative; ignored for OpRankREF
+	RowA, RowB int // RowA for single; RowA (hidden) + RowB for pairs
+}
+
+// RefreshEngine is the controller's refresh policy. Implementations:
+// NoRefresh, BaselineREF (this package), and HiRA-MC (internal/core).
+type RefreshEngine interface {
+	// Tick is called once per controller tick so the engine can generate
+	// refresh requests.
+	Tick(now dram.Time)
+	// Mandatory returns the operations on the channel that must start now
+	// (deadlines reached), in priority order. Banks are independent, so
+	// several refreshes may be due concurrently; the controller starts as
+	// many as resources allow, one command per tick. The returned slice
+	// may be reused by the engine across calls.
+	Mandatory(channel int, now dram.Time) []Op
+	// Piggyback is consulted when the controller is about to activate a
+	// demand row: the engine may return a row in the same bank to refresh
+	// "for free" via a HiRA prologue (refresh-access parallelization).
+	Piggyback(loc dram.Location, now dram.Time) (row int, ok bool)
+	// NoteActivate informs the engine of every row activation and
+	// whether it serves a demand access (PARA's sampling point) or
+	// refresh work.
+	NoteActivate(loc dram.Location, demand bool, now dram.Time)
+	// NoteRefreshed informs the engine that rows of a bank were refreshed
+	// (through any mechanism) at time now. row < 0 with kind OpRankREF
+	// reports a whole-rank REF.
+	NoteRefreshed(op Op, channel int, now dram.Time)
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Reads, Writes             uint64
+	RowHits, RowMisses        uint64
+	ACTs, PREs, REFs          uint64
+	HiRAPiggybacks            uint64 // refresh-access parallelizations
+	HiRAPairs                 uint64 // refresh-refresh parallelizations
+	StandaloneRefreshes       uint64 // deadline row refreshes without pairing
+	SeqBlocked, CanACTBlocked uint64
+	ReadLatencySum            dram.Time
+	ReadCount                 uint64
+}
+
+// AvgReadLatency returns the mean read service latency.
+func (s Stats) AvgReadLatency() dram.Time {
+	if s.ReadCount == 0 {
+		return 0
+	}
+	return s.ReadLatencySum / dram.Time(s.ReadCount)
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	Org    dram.Org
+	Timing dram.Timing
+	// ReadQueueCap and WriteQueueCap default to Table 3's 64.
+	ReadQueueCap, WriteQueueCap int
+	// WriteHigh/WriteLow are write-drain watermarks (defaults 48/16).
+	WriteHigh, WriteLow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReadQueueCap == 0 {
+		c.ReadQueueCap = 64
+	}
+	if c.WriteQueueCap == 0 {
+		c.WriteQueueCap = 64
+	}
+	if c.WriteHigh == 0 {
+		c.WriteHigh = c.WriteQueueCap * 3 / 4
+	}
+	if c.WriteLow == 0 {
+		c.WriteLow = c.WriteQueueCap / 4
+	}
+	return c
+}
+
+// Controller is the memory request scheduler.
+type Controller struct {
+	cfg    Config
+	now    dram.Time
+	chans  []*channel
+	engine RefreshEngine
+
+	// OnComplete is invoked when a read's data has returned (writes
+	// complete on enqueue). May be nil.
+	OnComplete func(core int, token uint64, at dram.Time)
+	// CommandHook observes every command placed on a command bus. May be
+	// nil.
+	CommandHook func(dram.Command)
+
+	Stats Stats
+}
+
+type channel struct {
+	id          int
+	readQ       []*Request
+	writeQ      []*Request
+	banks       []*bankSt // flat per channel: rank*banksPerRank + bank
+	ranks       []*rankSt
+	lastCmd     dram.Time
+	hasCmd      bool
+	dataBusFree dram.Time
+	draining    bool
+	seq         *sequence
+}
+
+type bankSt struct {
+	open     bool
+	row      int
+	actAt    dram.Time
+	readyACT dram.Time
+	readyPRE dram.Time
+	readyCol dram.Time
+	// reserved marks the bank as owned by a refresh operation or HiRA
+	// sequence; demand scheduling skips it.
+	reserved bool
+	// pendingPRE, when set, schedules an automatic precharge at the given
+	// time (used to close rows after standalone refreshes).
+	pendingPRE   bool
+	pendingPREAt dram.Time
+}
+
+type rankSt struct {
+	lastACT      dram.Time
+	lastACTGroup int
+	actTimes     []dram.Time
+	refBusy      dram.Time
+	refDrain     bool // rank is being drained for a REF
+	pendingREF   bool
+}
+
+// sequence is a short pre-timed command burst (a HiRA operation). One may
+// be active per channel at a time.
+type sequence struct {
+	cmds   []seqCmd
+	rank   int
+	next   int
+	access bool // second ACT serves a demand access
+	// onSecondACT runs when the HiRASecondACT issues (wires up demand
+	// request service).
+	onSecondACT func(at dram.Time)
+	done        func(at dram.Time)
+}
+
+type seqCmd struct {
+	kind  dram.Kind
+	phase dram.HiRAPhase
+	rank  int
+	bank  int // rank-relative
+	row   int
+	due   dram.Time
+}
+
+// NewController builds a controller with the given refresh engine
+// (NoRefresh{} if nil).
+func NewController(cfg Config, engine RefreshEngine) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Org.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil {
+		engine = NoRefresh{}
+	}
+	c := &Controller{cfg: cfg, engine: engine}
+	for ch := 0; ch < cfg.Org.Channels; ch++ {
+		cc := &channel{id: ch}
+		nb := cfg.Org.BanksPerChannel()
+		cc.banks = make([]*bankSt, nb)
+		for i := range cc.banks {
+			cc.banks[i] = &bankSt{readyACT: 0, readyPRE: 0, readyCol: 0}
+		}
+		cc.ranks = make([]*rankSt, cfg.Org.RanksPerChannel)
+		for i := range cc.ranks {
+			cc.ranks[i] = &rankSt{lastACT: -dram.MaxTime()}
+		}
+		c.chans = append(c.chans, cc)
+	}
+	return c, nil
+}
+
+// Now returns the controller clock.
+func (c *Controller) Now() dram.Time { return c.now }
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// QueueOccupancy returns current read/write queue depths summed over
+// channels.
+func (c *Controller) QueueOccupancy() (reads, writes int) {
+	for _, ch := range c.chans {
+		reads += len(ch.readQ)
+		writes += len(ch.writeQ)
+	}
+	return
+}
+
+// Enqueue accepts a request, returning false if the relevant queue is
+// full. Writes are acknowledged immediately (write-buffer semantics).
+func (c *Controller) Enqueue(req Request) bool {
+	ch := c.chans[req.Loc.Channel]
+	req.Arrive = c.now
+	if req.Write {
+		if len(ch.writeQ) >= c.cfg.WriteQueueCap {
+			return false
+		}
+		r := req
+		ch.writeQ = append(ch.writeQ, &r)
+		c.Stats.Writes++
+		return true
+	}
+	if len(ch.readQ) >= c.cfg.ReadQueueCap {
+		return false
+	}
+	r := req
+	ch.readQ = append(ch.readQ, &r)
+	return true
+}
+
+func (c *Controller) emit(ch *channel, cmd dram.Command) {
+	cmd.At = c.now
+	cmd.Loc.Channel = ch.id
+	ch.lastCmd = c.now
+	ch.hasCmd = true
+	if c.CommandHook != nil {
+		c.CommandHook(cmd)
+	}
+}
+
+// busFree reports whether the channel command bus can carry a command now.
+func (c *Controller) busFree(ch *channel) bool {
+	return !ch.hasCmd || c.now-ch.lastCmd >= c.cfg.Timing.TCK
+}
+
+// Tick advances the controller by one command clock.
+func (c *Controller) Tick() {
+	c.engine.Tick(c.now)
+	for _, ch := range c.chans {
+		c.tickChannel(ch)
+	}
+	c.now += c.cfg.Timing.TCK
+}
+
+func (c *Controller) tickChannel(ch *channel) {
+	if !c.busFree(ch) {
+		return
+	}
+	// 1. Active HiRA sequence commands are pre-timed: issue when due.
+	if ch.seq != nil {
+		if c.issueSeq(ch) {
+			return
+		}
+	}
+	// 2. Scheduled automatic precharges (closing standalone refreshes).
+	if c.issuePendingPRE(ch) {
+		return
+	}
+	// 3. Rank REF draining and issue.
+	if c.issueREFWork(ch) {
+		return
+	}
+	// 4. Engine-mandated refresh operations: several banks may have due
+	// refreshes; start the first one that resources allow.
+	if ch.seq == nil {
+		for _, op := range c.engine.Mandatory(ch.id, c.now) {
+			if op.Kind != OpNone && c.startOp(ch, op) {
+				return
+			}
+		}
+	}
+	// 5. Demand scheduling (FR-FCFS).
+	c.scheduleDemand(ch)
+}
+
+func (c *Controller) issueSeq(ch *channel) bool {
+	s := ch.seq
+	cmd := s.cmds[s.next]
+	if c.now < cmd.due {
+		return false
+	}
+	bank := c.bank(ch, cmd.rank, cmd.bank)
+	c.emit(ch, dram.Command{
+		Kind:  cmd.kind,
+		Loc:   dram.Location{BankID: dram.BankID{Rank: cmd.rank, Bank: cmd.bank}, Row: cmd.row},
+		Phase: cmd.phase,
+	})
+	switch cmd.kind {
+	case dram.KindACT:
+		c.Stats.ACTs++
+		c.noteACT(ch, cmd.rank, cmd.bank)
+		bank.open = true
+		bank.row = cmd.row
+		bank.actAt = c.now
+		bank.readyCol = c.now + c.cfg.Timing.TRCD
+		bank.readyPRE = c.now + c.cfg.Timing.TRAS
+		bank.readyACT = c.now + c.cfg.Timing.TRC
+		if cmd.phase == dram.HiRASecondACT && s.onSecondACT != nil {
+			s.onSecondACT(c.now)
+		}
+		c.engine.NoteActivate(dram.Location{
+			BankID: dram.BankID{Channel: ch.id, Rank: cmd.rank, Bank: cmd.bank},
+			Row:    cmd.row,
+		}, cmd.phase == dram.HiRASecondACT && s.access, c.now)
+	case dram.KindPRE:
+		c.Stats.PREs++
+		if cmd.phase != dram.HiRAInterruptPRE {
+			bank.open = false
+			bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
+		} else {
+			bank.open = false // reopened by the second ACT
+		}
+	}
+	s.next++
+	if s.next == len(s.cmds) {
+		if s.done != nil {
+			s.done(c.now)
+		}
+		ch.seq = nil
+	}
+	return true
+}
+
+func (c *Controller) issuePendingPRE(ch *channel) bool {
+	for rb, bank := range ch.banks {
+		if !bank.pendingPRE || c.now < bank.pendingPREAt || c.now < bank.readyPRE {
+			continue
+		}
+		rank := rb / c.cfg.Org.BanksPerRank()
+		b := rb % c.cfg.Org.BanksPerRank()
+		c.emit(ch, dram.Command{Kind: dram.KindPRE,
+			Loc: dram.Location{BankID: dram.BankID{Rank: rank, Bank: b}}})
+		c.Stats.PREs++
+		bank.open = false
+		bank.pendingPRE = false
+		bank.reserved = false
+		bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
+		return true
+	}
+	return false
+}
+
+func (c *Controller) bank(ch *channel, rank, bank int) *bankSt {
+	return ch.banks[rank*c.cfg.Org.BanksPerRank()+bank]
+}
+
+func (c *Controller) noteACT(ch *channel, rank, bank int) {
+	rk := ch.ranks[rank]
+	rk.lastACT = c.now
+	rk.lastACTGroup = bank / c.cfg.Org.BanksPerGroup
+	cut := c.now - c.cfg.Timing.TFAW
+	times := rk.actTimes[:0]
+	for _, t := range rk.actTimes {
+		if t > cut {
+			times = append(times, t)
+		}
+	}
+	rk.actTimes = append(times, c.now)
+}
+
+// canACT checks rank-level ACT constraints (tRRD_S/tRRD_L, tFAW headroom
+// for n more ACTs within the next span) and refresh occupancy.
+func (c *Controller) canACT(ch *channel, rank, bank int, n int, span dram.Time) bool {
+	rk := ch.ranks[rank]
+	if c.now < rk.refBusy || rk.refDrain {
+		return false
+	}
+	need := c.cfg.Timing.TRRD
+	if bank/c.cfg.Org.BanksPerGroup == rk.lastACTGroup {
+		need = c.cfg.Timing.TRRDL
+	}
+	if c.now-rk.lastACT < need {
+		return false
+	}
+	// tFAW: every activation — past, planned now, or pre-timed in an
+	// active HiRA sequence — must see at most 3 other ACTs in the tFAW
+	// window ending at its own issue time. Build the combined timeline
+	// (a handful of entries) and check every window that the planned
+	// ACTs join.
+	times := make([]dram.Time, 0, 8)
+	for _, t := range rk.actTimes {
+		times = append(times, t)
+	}
+	if s := ch.seq; s != nil && s.rank == rank {
+		for _, sc := range s.cmds[s.next:] {
+			if sc.kind == dram.KindACT {
+				times = append(times, sc.due)
+			}
+		}
+	}
+	times = append(times, c.now)
+	if n > 1 {
+		times = append(times, c.now+span)
+	}
+	for _, end := range times {
+		if end < c.now-c.cfg.Timing.TFAW {
+			continue
+		}
+		count := 0
+		for _, t := range times {
+			if t > end-c.cfg.Timing.TFAW && t <= end {
+				count++
+			}
+		}
+		if count > 4 {
+			return false
+		}
+	}
+	return true
+}
+
+func maxTime(a, b dram.Time) dram.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var errQueueFull = fmt.Errorf("sched: queue full")

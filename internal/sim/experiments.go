@@ -1,0 +1,376 @@
+package sim
+
+import (
+	"fmt"
+
+	"hira/internal/cache"
+	"hira/internal/cpu"
+	"hira/internal/metrics"
+	"hira/internal/workload"
+)
+
+// aloneMemory is the fixed-latency ideal memory used to compute per-trace
+// alone-IPC references for weighted speedup. Using one config-independent
+// reference keeps weighted-speedup ratios between configurations
+// meaningful while avoiding a quadratic number of alone simulations.
+type aloneMemory struct {
+	latencyTicks int
+	inflight     []aloneReq
+	llc          *cache.Cache
+	c            *cpu.Core
+}
+
+type aloneReq struct {
+	token uint64
+	left  int
+}
+
+func (m *aloneMemory) Issue(req cpu.MemRequest) bool {
+	if m.llc.Access(req.Addr, req.Write).Hit || req.Write {
+		if !req.Write {
+			m.c.Complete(req.Token)
+		}
+		return true
+	}
+	m.inflight = append(m.inflight, aloneReq{token: req.Token, left: m.latencyTicks})
+	return true
+}
+
+func (m *aloneMemory) step() {
+	kept := m.inflight[:0]
+	for _, r := range m.inflight {
+		r.left--
+		if r.left <= 0 {
+			m.c.Complete(r.token)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	m.inflight = kept
+}
+
+// AloneIPC computes a benchmark's IPC on an unloaded fixed-latency memory
+// (~60ns, an idle DRAM read round trip). Results are deterministic per
+// (profile, seed).
+func AloneIPC(p workload.Profile, seed uint64, ticks int) float64 {
+	mem := &aloneMemory{latencyTicks: 72, llc: cache.MustNew(8<<20, 8, 64)}
+	gen := workload.NewGenerator(p, seed)
+	c := cpu.New(0, gen, mem)
+	mem.c = c
+	budget := 0.0
+	for i := 0; i < ticks; i++ {
+		budget += 4 * cpuCyclesPerTick
+		if whole := int(budget); whole > 0 {
+			c.Tick(float64(whole))
+			budget -= float64(whole)
+		}
+		mem.step()
+	}
+	return c.IPC(float64(ticks) * cpuCyclesPerTick)
+}
+
+// aloneCache memoizes AloneIPC per benchmark name and core seed.
+type aloneCache struct {
+	ticks int
+	seedF func(core int) uint64
+	cache map[string]float64
+}
+
+func newAloneCache(ticks int, baseSeed uint64) *aloneCache {
+	return &aloneCache{
+		ticks: ticks,
+		seedF: func(c int) uint64 { return baseSeed*1000003 + uint64(c)*7919 + 11 },
+		cache: map[string]float64{},
+	}
+}
+
+func (a *aloneCache) get(p workload.Profile, coreID int) float64 {
+	key := fmt.Sprintf("%s/%d", p.Name, coreID)
+	if v, ok := a.cache[key]; ok {
+		return v
+	}
+	v := AloneIPC(p, a.seedF(coreID), a.ticks)
+	a.cache[key] = v
+	return v
+}
+
+// Options sizes an experiment sweep. The paper runs 125 mixes of 200M
+// instructions; defaults here are laptop-scale and flag-adjustable in
+// cmd/hira-sim.
+type Options struct {
+	Workloads int // number of multiprogrammed mixes (default 4)
+	Cores     int // cores per mix (default 8)
+	Warmup    int // warmup memory ticks (default 30000)
+	Measure   int // measured memory ticks (default 120000)
+	Seed      uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workloads == 0 {
+		o.Workloads = 4
+	}
+	if o.Cores == 0 {
+		o.Cores = 8
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 30000
+	}
+	if o.Measure == 0 {
+		o.Measure = 120000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// PolicyScore is the average weighted speedup of one policy under one
+// system shape.
+type PolicyScore struct {
+	Policy RefreshPolicy
+	// WS is the mean weighted speedup across mixes.
+	WS float64
+	// Sched aggregates controller stats across mixes.
+	Sched SchedAggregate
+}
+
+// SchedAggregate sums selected controller statistics across runs.
+type SchedAggregate struct {
+	HiRAPiggybacks, HiRAPairs, StandaloneRefreshes, REFs uint64
+	SeqBlocked, CanACTBlocked                            uint64
+}
+
+// RunPolicies evaluates each policy on the same mixes and returns average
+// weighted speedups.
+func RunPolicies(base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
+	opts = opts.withDefaults()
+	mixes := workload.Mixes(opts.Workloads, opts.Cores, opts.Seed)
+	alone := newAloneCache(opts.Measure, opts.Seed)
+
+	scores := make([]PolicyScore, len(policies))
+	for pi, pol := range policies {
+		cfg := base
+		cfg.Cores = opts.Cores
+		cfg.Policy = pol
+		cfg.Seed = opts.Seed
+		var ws []float64
+		var agg SchedAggregate
+		for _, mix := range mixes {
+			sys, err := NewSystem(cfg, mix)
+			if err != nil {
+				return nil, err
+			}
+			ipcAlone := make([]float64, opts.Cores)
+			for c, p := range mix.Profiles {
+				ipcAlone[c] = alone.get(p, c)
+			}
+			res := sys.Run(opts.Warmup, opts.Measure, ipcAlone)
+			ws = append(ws, res.WeightedSpeedup)
+			agg.HiRAPiggybacks += res.Sched.HiRAPiggybacks
+			agg.HiRAPairs += res.Sched.HiRAPairs
+			agg.StandaloneRefreshes += res.Sched.StandaloneRefreshes
+			agg.REFs += res.Sched.REFs
+			agg.SeqBlocked += res.Sched.SeqBlocked
+			agg.CanACTBlocked += res.Sched.CanACTBlocked
+		}
+		scores[pi] = PolicyScore{Policy: pol, WS: metrics.Mean(ws), Sched: agg}
+	}
+	return scores, nil
+}
+
+// Fig9Row is one capacity point of Fig. 9.
+type Fig9Row struct {
+	CapacityGbit int
+	// WS maps policy name to average weighted speedup; NormNoRefresh and
+	// NormBaseline are Fig. 9a/9b normalizations.
+	WS            map[string]float64
+	NormNoRefresh map[string]float64
+	NormBaseline  map[string]float64
+}
+
+// Fig9Capacities is the x-axis of Fig. 9.
+func Fig9Capacities() []int { return []int{2, 4, 8, 16, 32, 64, 128} }
+
+// Fig9 sweeps chip capacity for periodic refresh (§8): No Refresh,
+// Baseline REF, and HiRA-{0,2,4,8}.
+func Fig9(opts Options, capacities []int) ([]Fig9Row, error) {
+	if capacities == nil {
+		capacities = Fig9Capacities()
+	}
+	policies := []RefreshPolicy{
+		NoRefreshPolicy(), BaselinePolicy(),
+		HiRAPeriodicPolicy(0), HiRAPeriodicPolicy(2), HiRAPeriodicPolicy(4), HiRAPeriodicPolicy(8),
+	}
+	var rows []Fig9Row
+	for _, cap := range capacities {
+		base := DefaultConfig()
+		base.ChipCapacityGbit = cap
+		scores, err := RunPolicies(base, policies, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9Row{CapacityGbit: cap,
+			WS: map[string]float64{}, NormNoRefresh: map[string]float64{}, NormBaseline: map[string]float64{}}
+		for _, s := range scores {
+			row.WS[s.Policy.Name] = s.WS
+		}
+		for name, ws := range row.WS {
+			if nr := row.WS["NoRefresh"]; nr > 0 {
+				row.NormNoRefresh[name] = ws / nr
+			}
+			if b := row.WS["Baseline"]; b > 0 {
+				row.NormBaseline[name] = ws / b
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig12Row is one RowHammer-threshold point of Fig. 12.
+type Fig12Row struct {
+	NRH          int
+	WS           map[string]float64
+	NormBaseline map[string]float64 // Fig. 12a: vs no-defense baseline
+	NormPARA     map[string]float64 // Fig. 12b: vs PARA without HiRA
+}
+
+// Fig12NRHValues is the x-axis of Fig. 12.
+func Fig12NRHValues() []int { return []int{64, 128, 256, 512, 1024} }
+
+// Fig12 sweeps the RowHammer threshold for preventive refresh (§9.2):
+// Baseline (no defense), PARA, and PARA+HiRA-{0,2,4,8}.
+func Fig12(opts Options, nrhs []int) ([]Fig12Row, error) {
+	if nrhs == nil {
+		nrhs = Fig12NRHValues()
+	}
+	var rows []Fig12Row
+	for _, nrh := range nrhs {
+		policies := []RefreshPolicy{
+			BaselinePolicy(), PARAPolicy(nrh),
+			PARAHiRAPolicy(nrh, 0), PARAHiRAPolicy(nrh, 2),
+			PARAHiRAPolicy(nrh, 4), PARAHiRAPolicy(nrh, 8),
+		}
+		scores, err := RunPolicies(DefaultConfig(), policies, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{NRH: nrh,
+			WS: map[string]float64{}, NormBaseline: map[string]float64{}, NormPARA: map[string]float64{}}
+		for _, s := range scores {
+			row.WS[s.Policy.Name] = s.WS
+		}
+		for name, ws := range row.WS {
+			if b := row.WS["Baseline"]; b > 0 {
+				row.NormBaseline[name] = ws / b
+			}
+			if p := row.WS["PARA"]; p > 0 {
+				row.NormPARA[name] = ws / p
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ScaleRow is one point of the §10 channel/rank sensitivity sweeps
+// (Figs. 13-16).
+type ScaleRow struct {
+	// X is the swept quantity (channel or rank count).
+	X int
+	// Param is the second parameter (chip capacity for Figs. 13/14, NRH
+	// for Figs. 15/16).
+	Param int
+	WS    map[string]float64
+}
+
+// scaleSweep runs policies across a channels/ranks sweep.
+func scaleSweep(opts Options, xs []int, params []int, channels bool,
+	mkPolicies func(param int) []RefreshPolicy, mkCap func(param int) int) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	for _, param := range params {
+		for _, x := range xs {
+			base := DefaultConfig()
+			base.ChipCapacityGbit = mkCap(param)
+			if channels {
+				base.Channels = x
+			} else {
+				base.Ranks = x
+			}
+			scores, err := RunPolicies(base, mkPolicies(param), opts)
+			if err != nil {
+				return nil, err
+			}
+			row := ScaleRow{X: x, Param: param, WS: map[string]float64{}}
+			for _, s := range scores {
+				row.WS[s.Policy.Name] = s.WS
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ScaleXValues is the channel/rank sweep of §10.
+func ScaleXValues() []int { return []int{1, 2, 4, 8} }
+
+// Fig13 sweeps channel count under periodic refresh for chip capacities
+// {2, 8, 32} Gb with Baseline, HiRA-2, HiRA-4.
+func Fig13(opts Options, xs, caps []int) ([]ScaleRow, error) {
+	if xs == nil {
+		xs = ScaleXValues()
+	}
+	if caps == nil {
+		caps = []int{2, 8, 32}
+	}
+	return scaleSweep(opts, xs, caps, true,
+		func(int) []RefreshPolicy {
+			return []RefreshPolicy{BaselinePolicy(), HiRAPeriodicPolicy(2), HiRAPeriodicPolicy(4)}
+		},
+		func(cap int) int { return cap })
+}
+
+// Fig14 sweeps rank count under periodic refresh.
+func Fig14(opts Options, xs, caps []int) ([]ScaleRow, error) {
+	if xs == nil {
+		xs = ScaleXValues()
+	}
+	if caps == nil {
+		caps = []int{2, 8, 32}
+	}
+	return scaleSweep(opts, xs, caps, false,
+		func(int) []RefreshPolicy {
+			return []RefreshPolicy{BaselinePolicy(), HiRAPeriodicPolicy(2), HiRAPeriodicPolicy(4)}
+		},
+		func(cap int) int { return cap })
+}
+
+// Fig15 sweeps channel count under PARA for NRH {1024, 256, 64}.
+func Fig15(opts Options, xs, nrhs []int) ([]ScaleRow, error) {
+	if xs == nil {
+		xs = ScaleXValues()
+	}
+	if nrhs == nil {
+		nrhs = []int{1024, 256, 64}
+	}
+	return scaleSweep(opts, xs, nrhs, true,
+		func(nrh int) []RefreshPolicy {
+			return []RefreshPolicy{PARAPolicy(nrh), PARAHiRAPolicy(nrh, 2), PARAHiRAPolicy(nrh, 4)}
+		},
+		func(int) int { return 8 })
+}
+
+// Fig16 sweeps rank count under PARA.
+func Fig16(opts Options, xs, nrhs []int) ([]ScaleRow, error) {
+	if xs == nil {
+		xs = ScaleXValues()
+	}
+	if nrhs == nil {
+		nrhs = []int{1024, 256, 64}
+	}
+	return scaleSweep(opts, xs, nrhs, false,
+		func(nrh int) []RefreshPolicy {
+			return []RefreshPolicy{PARAPolicy(nrh), PARAHiRAPolicy(nrh, 2), PARAHiRAPolicy(nrh, 4)}
+		},
+		func(int) int { return 8 })
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+
+	"hira/internal/workload"
+)
+
+// quickOpts keeps integration sweeps fast; shapes, not precision.
+func quickOpts() Options {
+	return Options{Workloads: 2, Cores: 8, Warmup: 10000, Measure: 40000, Seed: 1}
+}
+
+func TestAloneIPCOrdering(t *testing.T) {
+	mcf, _ := workload.ProfileByName("mcf")
+	hmmer, _ := workload.ProfileByName("hmmer")
+	ipcMCF := AloneIPC(mcf, 1, 40000)
+	ipcHMMER := AloneIPC(hmmer, 1, 40000)
+	if ipcMCF <= 0 || ipcHMMER <= 0 {
+		t.Fatalf("non-positive alone IPC: mcf=%f hmmer=%f", ipcMCF, ipcHMMER)
+	}
+	if ipcMCF >= ipcHMMER {
+		t.Errorf("memory-bound mcf IPC (%f) should be below compute-bound hmmer (%f)", ipcMCF, ipcHMMER)
+	}
+}
+
+func TestSystemRunsAndProducesIPC(t *testing.T) {
+	cfg := DefaultConfig()
+	mix := workload.Mixes(1, 8, 1)[0]
+	sys, err := NewSystem(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(5000, 30000, nil)
+	if len(res.IPC) != 8 {
+		t.Fatalf("got %d IPC values", len(res.IPC))
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 || ipc > 4 {
+			t.Errorf("core %d IPC = %f out of (0,4]", i, ipc)
+		}
+	}
+	if res.Sched.Reads == 0 {
+		t.Error("no reads reached memory")
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = HiRAPeriodicPolicy(2)
+	mix := workload.Mixes(1, 8, 1)[0]
+	run := func() Result {
+		sys, err := NewSystem(cfg, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(5000, 20000, nil)
+	}
+	a, b := run(), run()
+	for i := range a.IPC {
+		if a.IPC[i] != b.IPC[i] {
+			t.Fatalf("core %d IPC differs across identical runs", i)
+		}
+	}
+	if a.Sched != b.Sched {
+		t.Error("controller stats differ across identical runs")
+	}
+}
+
+func TestNoRefreshBeatsBaseline(t *testing.T) {
+	scores, err := RunPolicies(DefaultConfig(),
+		[]RefreshPolicy{NoRefreshPolicy(), BaselinePolicy()}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].WS <= scores[1].WS {
+		t.Errorf("NoRefresh WS %.3f not above Baseline %.3f", scores[0].WS, scores[1].WS)
+	}
+}
+
+func TestFig9ShapeAtHighCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	rows, err := Fig9(quickOpts(), []int{8, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := rows[0], rows[1]
+	// Refresh hurts more at 128Gb than 8Gb for the baseline.
+	if hi.NormNoRefresh["Baseline"] >= lo.NormNoRefresh["Baseline"] {
+		t.Errorf("baseline degradation did not grow with capacity: %.3f vs %.3f",
+			hi.NormNoRefresh["Baseline"], lo.NormNoRefresh["Baseline"])
+	}
+	// §8's headline: at 128Gb, HiRA improves over the baseline.
+	if hi.NormBaseline["HiRA-2"] <= 1.0 {
+		t.Errorf("HiRA-2 at 128Gb = %.3f of baseline, want > 1", hi.NormBaseline["HiRA-2"])
+	}
+	// Baseline costs roughly a quarter of performance at 128Gb (paper:
+	// 26.3% degradation).
+	if d := 1 - hi.NormNoRefresh["Baseline"]; d < 0.10 || d > 0.40 {
+		t.Errorf("baseline degradation at 128Gb = %.1f%%, want ~20-26%%", d*100)
+	}
+}
+
+func TestFig12ShapeAtLowNRH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	rows, err := Fig12(quickOpts(), []int{1024, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at1024, at64 := rows[0], rows[1]
+	// PARA's overhead grows dramatically as NRH shrinks (§9.2).
+	if at64.NormBaseline["PARA"] >= at1024.NormBaseline["PARA"] {
+		t.Error("PARA overhead did not grow with RowHammer vulnerability")
+	}
+	if at64.NormBaseline["PARA"] > 0.5 {
+		t.Errorf("PARA at NRH=64 = %.3f of baseline; paper collapses to ~0.04", at64.NormBaseline["PARA"])
+	}
+	// §9.2's headline: HiRA-4 speeds up PARA by multiples at NRH=64
+	// (paper: 3.73x).
+	if s := at64.NormPARA["HiRA-4"]; s < 2 {
+		t.Errorf("HiRA-4 speedup over PARA at NRH=64 = %.2fx, want > 2x", s)
+	}
+	// At NRH=1024 the gain is modest, well under the NRH=64 gain.
+	if at1024.NormPARA["HiRA-4"] >= at64.NormPARA["HiRA-4"] {
+		t.Error("HiRA's PARA speedup should grow as NRH shrinks")
+	}
+}
+
+func TestChannelSweepScalesPerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	rows, err := Fig13(quickOpts(), []int{1, 4}, []int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More channels: higher absolute WS for both policies (§10.1).
+	if rows[1].WS["Baseline"] <= rows[0].WS["Baseline"] {
+		t.Errorf("baseline did not scale with channels: %v vs %v", rows[1].WS, rows[0].WS)
+	}
+	if rows[1].WS["HiRA-2"] <= rows[0].WS["HiRA-2"] {
+		t.Errorf("HiRA-2 did not scale with channels: %v vs %v", rows[1].WS, rows[0].WS)
+	}
+}
+
+func TestRankSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	rows, err := Fig14(quickOpts(), []int{1, 2}, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for name, ws := range r.WS {
+			if ws <= 0 {
+				t.Errorf("ranks=%d %s WS = %f", r.X, name, ws)
+			}
+		}
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	if got := HiRAPeriodicPolicy(4).Name; got != "HiRA-4" {
+		t.Errorf("name = %s", got)
+	}
+	if got := PARAHiRAPolicy(64, 2).Name; got != "HiRA-2" {
+		t.Errorf("name = %s", got)
+	}
+	if p := PARAPolicy(128); p.NRH != 128 {
+		t.Errorf("NRH = %d", p.NRH)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	mix := workload.Mixes(1, 4, 1)[0] // 4 profiles for 8 cores
+	if _, err := NewSystem(cfg, mix); err == nil {
+		t.Error("accepted mix/core mismatch")
+	}
+}

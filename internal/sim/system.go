@@ -1,0 +1,307 @@
+// Package sim wires the full simulated system of §7 — multicore front end
+// (internal/cpu), shared LLC (internal/cache), memory request scheduler
+// (internal/sched) with a refresh engine (internal/core), and synthetic
+// SPEC CPU2006 workloads (internal/workload) — and implements the
+// parameter sweeps behind every performance figure of the paper
+// (Figs. 9 and 12-16).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"hira/internal/cache"
+	"hira/internal/core"
+	"hira/internal/cpu"
+	"hira/internal/dram"
+	"hira/internal/metrics"
+	"hira/internal/rowhammer"
+	"hira/internal/sched"
+	"hira/internal/workload"
+)
+
+// CPU clock ratio: 3.2 GHz cores against the DDR4-2400 command clock
+// (1.2 GHz, tCK = 0.833 ns): cycles per memory tick.
+const cpuCyclesPerTick = 3.2e9 * 0.833e-9
+
+// LLCHitLatencyCycles approximates the shared-cache hit latency in CPU
+// cycles (charged as a retirement delay through the completion path).
+const llcHitLatencyCycles = 40
+
+// RefreshPolicy names a refresh configuration under test.
+type RefreshPolicy struct {
+	// Name labels the configuration in reports ("Baseline", "HiRA-2"...).
+	Name string
+
+	Periodic   core.PeriodicMode
+	Preventive core.PreventiveMode
+
+	// SlackTRC is tRefSlack in units of tRC (the N of HiRA-N).
+	SlackTRC int
+
+	// NRH is the RowHammer threshold PARA must defend; 0 disables PARA.
+	NRH int
+}
+
+// NoRefreshPolicy is Fig. 9a's ideal upper bound.
+func NoRefreshPolicy() RefreshPolicy {
+	return RefreshPolicy{Name: "NoRefresh", Periodic: core.PeriodicNone}
+}
+
+// BaselinePolicy is the conventional rank-level REF configuration.
+func BaselinePolicy() RefreshPolicy {
+	return RefreshPolicy{Name: "Baseline", Periodic: core.PeriodicREF}
+}
+
+// HiRAPeriodicPolicy is HiRA-N for periodic refreshes (§8).
+func HiRAPeriodicPolicy(n int) RefreshPolicy {
+	return RefreshPolicy{
+		Name:     fmt.Sprintf("HiRA-%d", n),
+		Periodic: core.PeriodicHiRA,
+		SlackTRC: n,
+	}
+}
+
+// PARAPolicy is PARA without HiRA (§9.2's "PARA"): periodic REF plus
+// immediate preventive refreshes.
+func PARAPolicy(nrh int) RefreshPolicy {
+	return RefreshPolicy{
+		Name:       "PARA",
+		Periodic:   core.PeriodicREF,
+		Preventive: core.PreventiveImmediate,
+		NRH:        nrh,
+	}
+}
+
+// PARAHiRAPolicy is PARA with HiRA-N parallelization of preventive
+// refreshes.
+func PARAHiRAPolicy(nrh, n int) RefreshPolicy {
+	return RefreshPolicy{
+		Name:       fmt.Sprintf("HiRA-%d", n),
+		Periodic:   core.PeriodicREF,
+		Preventive: core.PreventiveHiRA,
+		SlackTRC:   n,
+		NRH:        nrh,
+	}
+}
+
+// Config describes one simulated system.
+type Config struct {
+	Cores            int // Table 3: 8
+	ChipCapacityGbit int // Table 3: sweeps 2-128
+	Channels         int // Table 3: 1 (swept in §10)
+	Ranks            int // Table 3: 1 (swept in §10)
+	Policy           RefreshPolicy
+	// SPTCoverage is the pairable-subarray fraction (§7: 0.32).
+	SPTCoverage float64
+	Seed        uint64
+}
+
+// DefaultConfig returns Table 3's system.
+func DefaultConfig() Config {
+	return Config{
+		Cores:            8,
+		ChipCapacityGbit: 8,
+		Channels:         1,
+		Ranks:            1,
+		Policy:           BaselinePolicy(),
+		SPTCoverage:      0.32,
+		Seed:             1,
+	}
+}
+
+// Result reports one simulation run.
+type Result struct {
+	IPC             []float64 // per core, in CPU cycles
+	WeightedSpeedup float64
+	Sched           sched.Stats
+	LLCHitRate      float64
+	Ticks           int
+}
+
+// System is a fully wired simulated machine.
+type System struct {
+	cfg    Config
+	org    dram.Org
+	timing dram.Timing
+	ctrl   *sched.Controller
+	engine *core.HiRAMC
+	llc    *cache.Cache
+	mapper *dram.MOPMapper
+	cores  []*cpu.Core
+
+	// pending completions for LLC hits: token -> completion tick.
+	instrBudget []float64
+	retiredAt   []uint64 // retirement snapshot after warmup
+	ticksRun    int
+	wbQueue     []sched.Request
+}
+
+// coreMemory adapts the system as each core's cpu.Memory.
+type coreMemory struct {
+	s    *System
+	core int
+}
+
+// scaledRows scales a row count by (capacity/8Gb)^0.6, Expression 1's
+// refresh-work exponent, rounding to a positive integer.
+func scaledRows(base, capacityGbit int) int {
+	n := int(float64(base)*math.Pow(float64(capacityGbit)/8, 0.6) + 0.5)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// NewSystem builds the system for a mix of per-core workloads.
+func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
+	if len(mix.Profiles) != cfg.Cores {
+		return nil, fmt.Errorf("sim: mix has %d profiles for %d cores", len(mix.Profiles), cfg.Cores)
+	}
+	// The capacity sweep scales refresh work the way the paper's
+	// Expression 1 scales it for the baseline: tRFC = 110·C^0.6, i.e.
+	// the per-REF refresh work grows as C^0.6 (denser chips refresh more
+	// subarrays in parallel internally). The equivalent row-granularity
+	// work for HiRA-MC therefore also grows as C^0.6: rows per bank =
+	// 64K x (C/8)^0.6 around Table 3's 8 Gb anchor. (Scaling rows
+	// linearly with C would make any row-granularity refresh infeasible
+	// under Table 3's own tFAW at 128 Gb, baseline REF included.)
+	org := dram.DefaultOrg()
+	org.ChipCapacityGbit = cfg.ChipCapacityGbit
+	org.RowsPerSubarray = scaledRows(512, cfg.ChipCapacityGbit)
+	org.Channels = cfg.Channels
+	org.RanksPerChannel = cfg.Ranks
+	timing := dram.DDR4_2400(cfg.ChipCapacityGbit)
+
+	ecfg := core.Config{
+		Org:        org,
+		Timing:     timing,
+		Periodic:   cfg.Policy.Periodic,
+		Preventive: cfg.Policy.Preventive,
+		RefSlack:   dram.Time(cfg.Policy.SlackTRC) * timing.TRC,
+		Seed:       cfg.Seed*2654435761 + 97,
+	}
+	if cfg.Policy.Periodic == core.PeriodicHiRA || cfg.Policy.Preventive == core.PreventiveHiRA {
+		cov := cfg.SPTCoverage
+		if cov == 0 {
+			cov = 0.32
+		}
+		ecfg.SPT = core.NewSyntheticSPT(org.SubarraysPerBank, cov, 0xD1CE+cfg.Seed)
+	}
+	if cfg.Policy.NRH > 0 {
+		pth, err := rowhammer.DefaultConfig().SolvePth(cfg.Policy.NRH,
+			float64(cfg.Policy.SlackTRC), rowhammer.ReliabilityTarget)
+		if err != nil {
+			return nil, err
+		}
+		ecfg.Pth = pth
+	}
+	engine, err := core.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := sched.NewController(sched.Config{Org: org, Timing: timing}, engine)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		cfg:         cfg,
+		org:         org,
+		timing:      timing,
+		ctrl:        ctrl,
+		engine:      engine,
+		llc:         cache.MustNew(8<<20, 8, 64),
+		mapper:      dram.NewMOPMapper(org),
+		instrBudget: make([]float64, cfg.Cores),
+		retiredAt:   make([]uint64, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		gen := workload.NewGenerator(mix.Profiles[i], cfg.Seed*1000003+uint64(i)*7919+11)
+		c := cpu.New(i, gen, &coreMemory{s: s, core: i})
+		s.cores = append(s.cores, c)
+	}
+	ctrl.OnComplete = func(coreID int, token uint64, at dram.Time) {
+		s.cores[coreID].Complete(token)
+	}
+	return s, nil
+}
+
+// Controller exposes the memory controller (for inspection).
+func (s *System) Controller() *sched.Controller { return s.ctrl }
+
+// Issue implements cpu.Memory for one core.
+func (m *coreMemory) Issue(req cpu.MemRequest) bool {
+	s := m.s
+	res := s.llc.Access(req.Addr, req.Write)
+	if res.Hit {
+		if !req.Write {
+			// LLC hit: data arrives after the hit latency; the model
+			// completes it immediately and charges the latency as
+			// already-overlapped (dominant effects are DRAM-side).
+			s.cores[m.core].Complete(req.Token)
+		}
+		return true
+	}
+	if res.WB {
+		wb := sched.Request{Loc: s.mapper.Map(res.Writeback), Write: true, Core: m.core}
+		if !s.ctrl.Enqueue(wb) {
+			s.wbQueue = append(s.wbQueue, wb)
+		}
+	}
+	loc := s.mapper.Map(req.Addr)
+	ok := s.ctrl.Enqueue(sched.Request{Loc: loc, Write: req.Write, Core: m.core, Token: req.Token})
+	if ok && req.Write {
+		return true
+	}
+	if ok && !req.Write {
+		return true
+	}
+	return false
+}
+
+// Tick advances the whole system one memory command clock.
+func (s *System) Tick() {
+	// Retry buffered writebacks.
+	for len(s.wbQueue) > 0 {
+		if !s.ctrl.Enqueue(s.wbQueue[0]) {
+			break
+		}
+		s.wbQueue = s.wbQueue[1:]
+	}
+	for i, c := range s.cores {
+		s.instrBudget[i] += 4 * cpuCyclesPerTick
+		whole := int(s.instrBudget[i])
+		if whole > 0 {
+			c.Tick(float64(whole))
+			s.instrBudget[i] -= float64(whole)
+		}
+	}
+	s.ctrl.Tick()
+	s.ticksRun++
+}
+
+// Run executes warmup then measure ticks and returns the measured-phase
+// result. IPCAlone (same order as cores) feeds the weighted speedup; pass
+// nil to skip it.
+func (s *System) Run(warmup, measure int, ipcAlone []float64) Result {
+	for i := 0; i < warmup; i++ {
+		s.Tick()
+	}
+	for i := range s.cores {
+		s.retiredAt[i] = s.cores[i].Retired
+	}
+	s.ctrl.Stats = sched.Stats{}
+	for i := 0; i < measure; i++ {
+		s.Tick()
+	}
+	res := Result{Ticks: measure, Sched: s.ctrl.Stats, LLCHitRate: s.llc.HitRate()}
+	cycles := float64(measure) * cpuCyclesPerTick
+	for i, c := range s.cores {
+		res.IPC = append(res.IPC, float64(c.Retired-s.retiredAt[i])/cycles)
+	}
+	if ipcAlone != nil {
+		res.WeightedSpeedup = metrics.WeightedSpeedup(res.IPC, ipcAlone)
+	}
+	return res
+}

@@ -1,0 +1,123 @@
+// Package softmc is the command-level DRAM testing host used by the
+// characterization experiments, playing the role of the paper's
+// FPGA-based SoftMC infrastructure (§4.1).
+//
+// A Host wraps a virtual chip and exposes the primitive operations the
+// paper's Algorithms 1 and 2 are written in: issue an ACT or PRE and then
+// wait a precise interval, initialize a row with a data pattern, and read
+// a row back comparing it against an expected pattern. Like the real
+// SoftMC on the Alveo U200, the host can issue at most one command per
+// minimum command period (1.5 ns in the paper's setup).
+package softmc
+
+import (
+	"hira/internal/chip"
+	"hira/internal/dram"
+)
+
+// DataPattern is a repeating one-byte test pattern.
+type DataPattern byte
+
+// The four data patterns used by the paper's tests (§4.1).
+const (
+	AllOnes      DataPattern = 0xFF
+	AllZeros     DataPattern = 0x00
+	Checkerboard DataPattern = 0xAA
+	InvCheckered DataPattern = 0x55
+)
+
+// Patterns lists the paper's four test patterns in test order.
+func Patterns() [4]DataPattern {
+	return [4]DataPattern{AllOnes, AllZeros, Checkerboard, InvCheckered}
+}
+
+// Inverse returns the bitwise inverse pattern.
+func (p DataPattern) Inverse() DataPattern { return ^p }
+
+// Host drives one virtual DRAM module with precisely timed commands.
+type Host struct {
+	chip *chip.Chip
+	now  dram.Time
+
+	// MinPeriod is the smallest spacing between two commands the host can
+	// achieve (SoftMC's 1.5 ns in the double-data-rate domain).
+	MinPeriod dram.Time
+
+	// Conservative nominal timings used by convenience operations.
+	TRCD, TRAS, TRP dram.Time
+}
+
+// NewHost returns a host over the chip with the paper's infrastructure
+// constants.
+func NewHost(c *chip.Chip) *Host {
+	return &Host{
+		chip:      c,
+		MinPeriod: dram.FromNanoseconds(1.5),
+		TRCD:      dram.FromNanoseconds(14.25),
+		TRAS:      dram.FromNanoseconds(32),
+		TRP:       dram.FromNanoseconds(14.25),
+	}
+}
+
+// Chip returns the device under test.
+func (h *Host) Chip() *chip.Chip { return h.chip }
+
+// Now returns the host's current time.
+func (h *Host) Now() dram.Time { return h.now }
+
+// Wait advances time by d (at least MinPeriod).
+func (h *Host) Wait(d dram.Time) {
+	if d < h.MinPeriod {
+		d = h.MinPeriod
+	}
+	h.now += d
+}
+
+// Act issues an ACT to (bank, row) and then waits the given interval.
+func (h *Host) Act(bank, row int, wait dram.Time) {
+	h.chip.Activate(bank, row, h.now)
+	h.Wait(wait)
+}
+
+// Pre issues a PRE to the bank and then waits the given interval.
+func (h *Host) Pre(bank int, wait dram.Time) {
+	h.chip.Precharge(bank, h.now)
+	h.Wait(wait)
+}
+
+// HiRA issues one complete HiRA sequence — ACT rowA, PRE after t1, ACT
+// rowB after t2 — and waits tRAS so rowB's charge restoration completes,
+// then closes both rows with a final precharge (footnote 1: one PRE closes
+// both) and waits tRP.
+func (h *Host) HiRA(bank, rowA, rowB int, t1, t2 dram.Time) {
+	h.Act(bank, rowA, t1)
+	h.Pre(bank, t2)
+	h.Act(bank, rowB, h.TRAS)
+	h.Pre(bank, h.TRP)
+}
+
+// InitRow writes the pattern into the row, modelling the test equipment's
+// activate-write-precharge sequence. It occupies the bank for a full row
+// cycle.
+func (h *Host) InitRow(bank, row int, p DataPattern) {
+	h.Act(bank, row, h.TRCD)
+	h.chip.InitRow(bank, row, byte(p))
+	h.Wait(h.TRAS - h.TRCD)
+	h.Pre(bank, h.TRP)
+}
+
+// CompareRow activates the row, reads it back, compares against the
+// expected pattern, precharges, and returns the number of flipped bits.
+func (h *Host) CompareRow(bank, row int, p DataPattern) int {
+	h.Act(bank, row, h.TRCD)
+	flips := h.chip.CompareRow(bank, row, byte(p))
+	h.Wait(h.TRAS - h.TRCD)
+	h.Pre(bank, h.TRP)
+	return flips
+}
+
+// HammerPair performs n double-sided hammer iterations using the chip's
+// burst fast path (equivalent to 4n timed commands; see chip.HammerBurst).
+func (h *Host) HammerPair(bank, rowA, rowB, n int) {
+	h.now = h.chip.HammerBurst(bank, rowA, rowB, n, h.now)
+}

@@ -1,0 +1,136 @@
+package softmc
+
+import (
+	"testing"
+
+	"hira/internal/chip"
+	"hira/internal/dram"
+)
+
+func testHost() *Host {
+	g := chip.Geometry{Banks: 2, SubarraysPerBank: 32, RowsPerSubarray: 64}
+	return NewHost(chip.New(chip.SKHynixLike("test", 0.33), g, 42, 8))
+}
+
+func TestPatterns(t *testing.T) {
+	ps := Patterns()
+	want := [4]DataPattern{0xFF, 0x00, 0xAA, 0x55}
+	if ps != want {
+		t.Errorf("Patterns() = %x, want %x", ps, want)
+	}
+	if AllOnes.Inverse() != AllZeros || Checkerboard.Inverse() != InvCheckered {
+		t.Error("Inverse() incorrect")
+	}
+}
+
+func TestWaitEnforcesMinPeriod(t *testing.T) {
+	h := testHost()
+	h.Wait(0)
+	if h.Now() != h.MinPeriod {
+		t.Errorf("Now = %v after Wait(0), want MinPeriod %v", h.Now(), h.MinPeriod)
+	}
+	h.Wait(10 * dram.Nanosecond)
+	if h.Now() != h.MinPeriod+10*dram.Nanosecond {
+		t.Errorf("Now = %v, want %v", h.Now(), h.MinPeriod+10*dram.Nanosecond)
+	}
+}
+
+func TestInitAndCompareRoundTrip(t *testing.T) {
+	h := testHost()
+	for _, p := range Patterns() {
+		h.InitRow(0, 100, p)
+		if flips := h.CompareRow(0, 100, p); flips != 0 {
+			t.Errorf("pattern %#x: %d flips on clean round trip", byte(p), flips)
+		}
+	}
+}
+
+func TestHiRAOnIsolatedPair(t *testing.T) {
+	h := testHost()
+	c := h.Chip()
+	// Find an isolated subarray pair.
+	var rowA, rowB = -1, -1
+	for sa := 0; sa < c.Geometry().SubarraysPerBank && rowA < 0; sa++ {
+		if isos := c.IsolatedSubarrays(sa); len(isos) > 0 {
+			rowA = sa * c.Geometry().RowsPerSubarray
+			rowB = isos[0] * c.Geometry().RowsPerSubarray
+		}
+	}
+	if rowA < 0 {
+		t.Fatal("no isolated pair found")
+	}
+	h.InitRow(0, rowA, Checkerboard)
+	h.InitRow(0, rowB, InvCheckered)
+	h.HiRA(0, rowA, rowB, 3*dram.Nanosecond, 3*dram.Nanosecond)
+	if f := h.CompareRow(0, rowA, Checkerboard); f != 0 {
+		t.Errorf("RowA flipped %d bits", f)
+	}
+	if f := h.CompareRow(0, rowB, InvCheckered); f != 0 {
+		t.Errorf("RowB flipped %d bits", f)
+	}
+}
+
+// TestHammerPairMatchesExplicitLoop is the equivalence property behind the
+// burst fast path: HammerPair must leave the chip in exactly the state the
+// explicit 4n-command loop would.
+func TestHammerPairMatchesExplicitLoop(t *testing.T) {
+	g := chip.Geometry{Banks: 1, SubarraysPerBank: 8, RowsPerSubarray: 64}
+	mk := func() (*Host, int) {
+		c := chip.New(chip.SKHynixLike("test", 0.33), g, 7, 8)
+		return NewHost(c), 10
+	}
+	const n = 900
+
+	hBurst, victim := mk()
+	hBurst.InitRow(0, victim, Checkerboard)
+	hBurst.HammerPair(0, victim-1, victim+1, n)
+
+	hLoop, _ := mk()
+	hLoop.InitRow(0, victim, Checkerboard)
+	for i := 0; i < n; i++ {
+		hLoop.Act(0, victim-1, hLoop.TRAS)
+		hLoop.Pre(0, hLoop.TRP)
+		hLoop.Act(0, victim+1, hLoop.TRAS)
+		hLoop.Pre(0, hLoop.TRP)
+	}
+
+	for _, row := range []int{victim - 2, victim - 1, victim, victim + 1, victim + 2} {
+		fb := hBurst.CompareRow(0, row, Checkerboard)
+		fl := hLoop.CompareRow(0, row, Checkerboard)
+		// Rows other than the victim were never initialized; compare
+		// corruption state only for the victim.
+		if row == victim && fb != fl {
+			t.Errorf("row %d: burst %d flips, loop %d flips", row, fb, fl)
+		}
+	}
+}
+
+// TestHammerPairCrossesThresholdExactly checks that a burst that ends
+// exactly at the threshold flips the victim while one disturbance short
+// does not.
+func TestHammerPairCrossesThresholdExactly(t *testing.T) {
+	g := chip.Geometry{Banks: 1, SubarraysPerBank: 8, RowsPerSubarray: 64}
+	victim := 10
+	probe := chip.New(chip.SKHynixLike("test", 0.33), g, 7, 8)
+
+	// Discover this trial's effective threshold by construction: the
+	// chip adds +/-2% noise per InitRow, so measure via a wide burst
+	// first, then verify the boundary with fresh trials. Each burst
+	// iteration disturbs the victim twice.
+	nrh := probe.Intrinsics(0, victim).NRH
+	lo, hi := 1, int(nrh) // iterations; victim disturb = 2*iterations
+	for lo < hi {
+		mid := (lo + hi) / 2
+		h := NewHost(chip.New(chip.SKHynixLike("test", 0.33), g, 7, 8))
+		h.InitRow(0, victim, Checkerboard)
+		h.HammerPair(0, victim-1, victim+1, mid)
+		if h.CompareRow(0, victim, Checkerboard) > 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo <= 1 || float64(2*lo) < nrh*0.9 || float64(2*lo) > nrh*1.1 {
+		t.Errorf("measured threshold %d far from intrinsic %f", 2*lo, nrh)
+	}
+}

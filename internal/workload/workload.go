@@ -1,0 +1,190 @@
+// Package workload generates synthetic memory-access traces standing in
+// for the paper's SPEC CPU2006 workloads (§7). Each benchmark is described
+// by a profile — memory intensity (misses per kilo-instruction), row
+// locality, footprint, and write fraction — drawn from published
+// characterizations; traces are deterministic given (profile, seed), and
+// the 125 random 8-core multiprogrammed mixes of the paper are
+// reproducible from a single seed.
+package workload
+
+import "fmt"
+
+// Profile characterizes the memory behaviour of one benchmark.
+type Profile struct {
+	Name string
+	// MPKI is last-level-cache-filtered memory accesses per
+	// kilo-instruction: how hard the benchmark drives DRAM.
+	MPKI float64
+	// RowLocality is the probability that an access continues a
+	// sequential stream (hitting the same or the next DRAM row) instead
+	// of jumping to a random location in the footprint.
+	RowLocality float64
+	// FootprintMB is the size of the touched address space.
+	FootprintMB int
+	// WriteFrac is the fraction of accesses that are stores.
+	WriteFrac float64
+}
+
+// SPEC2006Profiles returns profiles for the SPEC CPU2006 benchmarks,
+// with memory intensities set from published MPKI characterizations
+// (approximate; the evaluation depends on the intensity mix, not exact
+// per-benchmark values).
+func SPEC2006Profiles() []Profile {
+	return []Profile{
+		{Name: "mcf", MPKI: 60, RowLocality: 0.25, FootprintMB: 1600, WriteFrac: 0.25},
+		{Name: "lbm", MPKI: 30, RowLocality: 0.70, FootprintMB: 400, WriteFrac: 0.45},
+		{Name: "milc", MPKI: 25, RowLocality: 0.55, FootprintMB: 600, WriteFrac: 0.30},
+		{Name: "libquantum", MPKI: 25, RowLocality: 0.90, FootprintMB: 64, WriteFrac: 0.20},
+		{Name: "soplex", MPKI: 25, RowLocality: 0.45, FootprintMB: 250, WriteFrac: 0.25},
+		{Name: "GemsFDTD", MPKI: 20, RowLocality: 0.65, FootprintMB: 800, WriteFrac: 0.40},
+		{Name: "omnetpp", MPKI: 20, RowLocality: 0.20, FootprintMB: 150, WriteFrac: 0.30},
+		{Name: "bwaves", MPKI: 18, RowLocality: 0.75, FootprintMB: 850, WriteFrac: 0.30},
+		{Name: "leslie3d", MPKI: 15, RowLocality: 0.70, FootprintMB: 120, WriteFrac: 0.35},
+		{Name: "sphinx3", MPKI: 12, RowLocality: 0.55, FootprintMB: 40, WriteFrac: 0.10},
+		{Name: "wrf", MPKI: 8, RowLocality: 0.60, FootprintMB: 120, WriteFrac: 0.30},
+		{Name: "gcc", MPKI: 6, RowLocality: 0.40, FootprintMB: 80, WriteFrac: 0.35},
+		{Name: "astar", MPKI: 5, RowLocality: 0.30, FootprintMB: 180, WriteFrac: 0.25},
+		{Name: "cactusADM", MPKI: 5, RowLocality: 0.50, FootprintMB: 400, WriteFrac: 0.35},
+		{Name: "zeusmp", MPKI: 5, RowLocality: 0.55, FootprintMB: 500, WriteFrac: 0.35},
+		{Name: "xalancbmk", MPKI: 2, RowLocality: 0.30, FootprintMB: 100, WriteFrac: 0.25},
+		{Name: "bzip2", MPKI: 3, RowLocality: 0.45, FootprintMB: 100, WriteFrac: 0.30},
+		{Name: "hmmer", MPKI: 1, RowLocality: 0.60, FootprintMB: 30, WriteFrac: 0.35},
+		{Name: "gobmk", MPKI: 1, RowLocality: 0.35, FootprintMB: 30, WriteFrac: 0.25},
+		{Name: "h264ref", MPKI: 1, RowLocality: 0.55, FootprintMB: 60, WriteFrac: 0.25},
+		{Name: "perlbench", MPKI: 1, RowLocality: 0.40, FootprintMB: 250, WriteFrac: 0.30},
+		{Name: "sjeng", MPKI: 0.5, RowLocality: 0.30, FootprintMB: 170, WriteFrac: 0.25},
+		{Name: "namd", MPKI: 0.5, RowLocality: 0.60, FootprintMB: 45, WriteFrac: 0.20},
+		{Name: "calculix", MPKI: 0.5, RowLocality: 0.60, FootprintMB: 80, WriteFrac: 0.25},
+		{Name: "gromacs", MPKI: 0.7, RowLocality: 0.55, FootprintMB: 25, WriteFrac: 0.30},
+		{Name: "dealII", MPKI: 1, RowLocality: 0.50, FootprintMB: 100, WriteFrac: 0.25},
+		{Name: "tonto", MPKI: 0.3, RowLocality: 0.50, FootprintMB: 40, WriteFrac: 0.30},
+		{Name: "povray", MPKI: 0.1, RowLocality: 0.40, FootprintMB: 5, WriteFrac: 0.25},
+		{Name: "gamess", MPKI: 0.1, RowLocality: 0.50, FootprintMB: 10, WriteFrac: 0.25},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range SPEC2006Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Access is one memory access of a trace.
+type Access struct {
+	// Addr is the physical byte address (cache-block aligned).
+	Addr uint64
+	// Write marks stores.
+	Write bool
+	// Gap is the number of non-memory instructions executed before this
+	// access.
+	Gap int
+}
+
+// Generator deterministically produces a benchmark's access stream.
+type Generator struct {
+	prof   Profile
+	rng    uint64
+	cursor uint64 // current streaming position
+	base   uint64 // footprint base address
+	mask   uint64 // footprint size - 1 (power of two)
+	gapAvg float64
+}
+
+// NewGenerator returns a trace generator for the profile. Each core's
+// footprint is placed at a seed-dependent base so that co-running cores
+// touch disjoint regions (as separate processes would).
+func NewGenerator(p Profile, seed uint64) *Generator {
+	if p.MPKI <= 0 {
+		p.MPKI = 0.05
+	}
+	foot := uint64(p.FootprintMB) << 20
+	// Round footprint up to a power of two for cheap wrapping.
+	size := uint64(1) << 20
+	for size < foot {
+		size <<= 1
+	}
+	g := &Generator{
+		prof:   p,
+		rng:    splitmix(seed ^ 0x9e3779b97f4a7c15),
+		base:   (seed % 64) << 34, // 16GB-spaced process regions
+		mask:   size - 1,
+		gapAvg: 1000 / p.MPKI,
+	}
+	g.cursor = g.randAddr()
+	return g
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (g *Generator) next() uint64 {
+	g.rng = splitmix(g.rng)
+	return g.rng
+}
+
+func (g *Generator) randAddr() uint64 {
+	return g.base + (g.next()&g.mask)&^63
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Next returns the next access in the stream.
+func (g *Generator) Next() Access {
+	r := g.next()
+	if float64(r%1000)/1000 < g.prof.RowLocality {
+		// Continue the sequential stream.
+		g.cursor = g.base + ((g.cursor-g.base+64)&g.mask)&^63
+	} else {
+		g.cursor = g.randAddr()
+	}
+	write := float64(g.next()%1000)/1000 < g.prof.WriteFrac
+	// Gap jitter: uniform in [0.5, 1.5] x average.
+	jitter := 0.5 + float64(g.next()%1000)/1000
+	gap := int(g.gapAvg * jitter)
+	return Access{Addr: g.cursor, Write: write, Gap: gap}
+}
+
+// Mix is one multiprogrammed workload: a benchmark per core.
+type Mix struct {
+	ID       int
+	Profiles []Profile
+}
+
+// String lists the mix's benchmark names.
+func (m Mix) String() string {
+	s := fmt.Sprintf("mix%03d[", m.ID)
+	for i, p := range m.Profiles {
+		if i > 0 {
+			s += ","
+		}
+		s += p.Name
+	}
+	return s + "]"
+}
+
+// Mixes returns n deterministic multiprogrammed mixes of cores benchmarks
+// each, randomly drawn from the SPEC CPU2006 profile set (the paper uses
+// 125 such 8-core mixes).
+func Mixes(n, cores int, seed uint64) []Mix {
+	profiles := SPEC2006Profiles()
+	rng := splitmix(seed)
+	out := make([]Mix, n)
+	for i := range out {
+		m := Mix{ID: i, Profiles: make([]Profile, cores)}
+		for c := range m.Profiles {
+			rng = splitmix(rng)
+			m.Profiles[c] = profiles[rng%uint64(len(profiles))]
+		}
+		out[i] = m
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesWellFormed(t *testing.T) {
+	ps := SPEC2006Profiles()
+	if len(ps) < 25 {
+		t.Fatalf("only %d profiles", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.MPKI < 0 || p.RowLocality < 0 || p.RowLocality > 1 ||
+			p.WriteFrac < 0 || p.WriteFrac > 1 || p.FootprintMB <= 0 {
+			t.Errorf("profile %s has out-of-range fields: %+v", p.Name, p)
+		}
+	}
+	// The classic memory-intensive benchmarks must be present.
+	for _, name := range []string{"mcf", "lbm", "libquantum", "omnetpp"} {
+		if !seen[name] {
+			t.Errorf("missing benchmark %s", name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Errorf("ProfileByName(mcf) = %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ProfileByName("mcf")
+	g1 := NewGenerator(p, 7)
+	g2 := NewGenerator(p, 7)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("divergence at access %d", i)
+		}
+	}
+	g3 := NewGenerator(p, 8)
+	same := true
+	for i := 0; i < 100; i++ {
+		if g1.Next() != g3.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorStatisticsMatchProfile(t *testing.T) {
+	for _, name := range []string{"mcf", "libquantum", "hmmer"} {
+		p, _ := ProfileByName(name)
+		g := NewGenerator(p, 42)
+		const n = 20000
+		var gaps, writes, seq float64
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			a := g.Next()
+			gaps += float64(a.Gap)
+			if a.Write {
+				writes++
+			}
+			if i > 0 && a.Addr == prev+64 {
+				seq++
+			}
+			prev = a.Addr
+		}
+		gotMPKI := 1000 / (gaps/n + 1)
+		if math.Abs(gotMPKI-p.MPKI)/p.MPKI > 0.15 {
+			t.Errorf("%s: effective MPKI %.2f, want ~%.2f", name, gotMPKI, p.MPKI)
+		}
+		if wf := writes / n; math.Abs(wf-p.WriteFrac) > 0.03 {
+			t.Errorf("%s: write fraction %.3f, want %.3f", name, wf, p.WriteFrac)
+		}
+		if sl := seq / n; math.Abs(sl-p.RowLocality) > 0.05 {
+			t.Errorf("%s: sequential fraction %.3f, want ~%.2f", name, sl, p.RowLocality)
+		}
+	}
+}
+
+func TestGeneratorAddressesAligned(t *testing.T) {
+	p, _ := ProfileByName("mcf")
+	g := NewGenerator(p, 1)
+	f := func(n uint8) bool {
+		for i := 0; i < int(n); i++ {
+			if g.Next().Addr%64 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorFootprintBounded(t *testing.T) {
+	p, _ := ProfileByName("sphinx3") // 40MB -> 64MB rounded
+	g := NewGenerator(p, 3)
+	lo, hi := ^uint64(0), uint64(0)
+	for i := 0; i < 50000; i++ {
+		a := g.Next().Addr
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	if span := hi - lo; span > 64<<20 {
+		t.Errorf("address span %d exceeds rounded footprint", span)
+	}
+}
+
+func TestMixesDeterministicAndSized(t *testing.T) {
+	a := Mixes(125, 8, 1)
+	b := Mixes(125, 8, 1)
+	if len(a) != 125 {
+		t.Fatalf("got %d mixes", len(a))
+	}
+	for i := range a {
+		if len(a[i].Profiles) != 8 {
+			t.Fatalf("mix %d has %d cores", i, len(a[i].Profiles))
+		}
+		if a[i].String() != b[i].String() {
+			t.Fatalf("mix %d differs across calls", i)
+		}
+	}
+	c := Mixes(125, 8, 2)
+	diff := false
+	for i := range a {
+		if a[i].String() != c[i].String() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical mix sets")
+	}
+}
+
+func TestMixesCoverManyBenchmarks(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Mixes(125, 8, 1) {
+		for _, p := range m.Profiles {
+			seen[p.Name] = true
+		}
+	}
+	if len(seen) < 20 {
+		t.Errorf("125 mixes touched only %d distinct benchmarks", len(seen))
+	}
+}
