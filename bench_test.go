@@ -9,7 +9,10 @@
 package hira_test
 
 import (
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"hira"
 )
@@ -111,6 +114,52 @@ func BenchmarkFig9Periodic(b *testing.B) {
 	hi := rows[1]
 	b.ReportMetric(hi.NormNoRefresh["Baseline"], "base/noref@128Gb")
 	b.ReportMetric(hi.NormBaseline["HiRA-2"], "hira2/base@128Gb")
+}
+
+// BenchmarkEngineFig9Parallel measures the experiment engine's parallel
+// speedup on a Fig. 9-shaped weighted-speedup sweep: a serial
+// (Parallelism 1) reference is timed once, the benchmark loop runs the
+// same sweep on a full worker pool, and the ratio is reported as speedup
+// plus per-core parallel efficiency. Results are bit-identical between
+// the two (see internal/engine's TestEngineDeterminism); this tracks
+// only the wall-clock win.
+var engineFig9Serial struct {
+	sync.Once
+	dur time.Duration
+	err error
+}
+
+func BenchmarkEngineFig9Parallel(b *testing.B) {
+	caps := []int{8, 128}
+	workers := runtime.GOMAXPROCS(0)
+	par := quickSim()
+	par.Parallelism = workers
+
+	// The serial reference is timed once per test binary; the calibration
+	// re-invocations the benchmark runner makes reuse it.
+	engineFig9Serial.Do(func() {
+		serial := quickSim()
+		serial.Parallelism = 1
+		start := time.Now()
+		_, engineFig9Serial.err = hira.Fig9(serial, caps)
+		engineFig9Serial.dur = time.Since(start)
+	})
+	if engineFig9Serial.err != nil {
+		b.Fatal(engineFig9Serial.err)
+	}
+	serialDur := engineFig9Serial.dur
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hira.Fig9(par, caps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	parDur := b.Elapsed() / time.Duration(b.N)
+	speedup := serialDur.Seconds() / parDur.Seconds()
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(speedup/float64(workers), "efficiency")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // BenchmarkFig11Security regenerates Fig. 11: the full pth grid.

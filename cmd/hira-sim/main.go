@@ -3,6 +3,11 @@
 // preventive refresh vs RowHammer threshold), and the §10 sensitivity
 // sweeps Figs. 13-16 (channels/ranks). Scale with -workloads and -ticks;
 // the paper's scale is -workloads 125 with much longer runs.
+//
+// Sweeps run on the parallel experiment engine: -parallel sizes the
+// worker pool (results are bit-identical at any setting) and -results
+// persists per-cell JSON results, so an interrupted or extended sweep
+// only simulates the delta on the next run.
 package main
 
 import (
@@ -20,10 +25,40 @@ var (
 	ticks     = flag.Int("ticks", 120000, "measured memory-controller ticks per run")
 	warmup    = flag.Int("warmup", 30000, "warmup ticks per run")
 	seed      = flag.Uint64("seed", 1, "workload seed")
+	parallel  = flag.Int("parallel", 0, "engine worker pool size (0 = one per CPU core)")
+	results   = flag.String("results", "", "directory for per-cell JSON results (reused across runs)")
+	progress  = flag.Bool("progress", false, "print per-batch cell progress to stderr")
 )
 
+// engineStats accumulates cache/simulation tallies across the experiment.
+var engineStats hira.EngineStats
+
+// progressOpen tracks whether the \r progress line still needs a
+// terminating newline (a batch that aborts never reaches done == total).
+var progressOpen bool
+
+func endProgressLine() {
+	if progressOpen {
+		fmt.Fprintln(os.Stderr)
+		progressOpen = false
+	}
+}
+
 func opts() hira.SimOptions {
-	return hira.SimOptions{Workloads: *workloads, Measure: *ticks, Warmup: *warmup, Seed: *seed}
+	o := hira.SimOptions{
+		Workloads: *workloads, Measure: *ticks, Warmup: *warmup, Seed: *seed,
+		Parallelism: *parallel, ResultDir: *results, Stats: &engineStats,
+	}
+	if *progress {
+		o.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcells %d/%d", done, total)
+			progressOpen = done != total
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	return o
 }
 
 func names(ws map[string]float64) []string {
@@ -145,8 +180,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	endProgressLine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "engine: %d cells (%d simulated, %d cache hits, %d store hits, %d deduped)\n",
+		engineStats.Submitted, engineStats.Simulated, engineStats.CacheHits,
+		engineStats.StoreHits, engineStats.Deduped)
+	if engineStats.StoreErrors > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d cell results could not be persisted to -results %s (%s)\n",
+			engineStats.StoreErrors, *results, engineStats.FirstStoreError)
 	}
 }

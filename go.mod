@@ -1,0 +1,3 @@
+module hira
+
+go 1.22

@@ -21,7 +21,10 @@
 //   - Hardware cost (§6): the Table 2 area/latency model — see AreaReport.
 //   - System-level evaluation (§7-§10): a cycle-level DDR4 simulator with
 //     HiRA-MC — see the re-exported sim experiment runners Fig9, Fig12,
-//     Fig13-Fig16, and RunPolicies.
+//     Fig13-Fig16, and RunPolicies. Sweeps decompose into deterministic,
+//     content-keyed cells and run on a parallel experiment engine
+//     (internal/engine); SimOptions.Parallelism sizes its worker pool and
+//     SimOptions.ResultDir persists per-cell results across runs.
 //
 // Subpackages under internal/ hold the implementation; everything a
 // downstream user needs is exported here or through the cmd/ binaries.
@@ -135,8 +138,15 @@ func Area() AreaReport { return areamodel.BuildReport() }
 // System-level experiment re-exports (§7-§10).
 type (
 	// SimOptions sizes a performance sweep (workload count, measured
-	// ticks, etc.).
+	// ticks, etc.) and configures the experiment engine behind it
+	// (Parallelism, ResultDir, Progress, Stats).
 	SimOptions = sim.Options
+	// EngineStats tallies how the experiment engine resolved a sweep's
+	// cells: simulated vs served from the in-memory cache or the
+	// ResultDir store. Point SimOptions.Stats at one to collect it.
+	EngineStats = sim.EngineStats
+	// SimCellResult is the persisted payload of one engine cell.
+	SimCellResult = sim.CellResult
 	// SystemConfig describes one simulated machine.
 	SystemConfig = sim.Config
 	// RefreshPolicy names one refresh configuration under test.

@@ -1,0 +1,94 @@
+package engine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"hira/internal/sim"
+)
+
+// fig9Opts is a laptop-scale Fig. 9-shaped sweep configuration.
+func fig9Opts(parallelism int, dir string, stats *sim.EngineStats) sim.Options {
+	return sim.Options{
+		Workloads: 2, Cores: 8, Warmup: 4000, Measure: 15000, Seed: 1,
+		Parallelism: parallelism, ResultDir: dir, Stats: stats,
+	}
+}
+
+// TestEngineDeterminism asserts the engine's core contract on a real
+// Fig. 9-shaped sweep: scheduling order must not leak into results
+// (Parallelism 1 and 8 produce identical rows and PolicyScores), and a
+// cache-warm re-run against a result store performs zero simulations.
+func TestEngineDeterminism(t *testing.T) {
+	caps := []int{8, 32}
+
+	t.Run("parallel-matches-serial", func(t *testing.T) {
+		serial, err := sim.Fig9(fig9Opts(1, "", nil), caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := sim.Fig9(fig9Opts(8, "", nil), caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("Fig9 rows differ between Parallelism 1 and 8:\nserial:   %+v\nparallel: %+v",
+				serial, parallel)
+		}
+
+		base := sim.DefaultConfig()
+		base.ChipCapacityGbit = 32
+		policies := []sim.RefreshPolicy{sim.BaselinePolicy(), sim.HiRAPeriodicPolicy(2)}
+		s1, err := sim.RunPolicies(base, policies, fig9Opts(1, "", nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s8, err := sim.RunPolicies(base, policies, fig9Opts(8, "", nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s1, s8) {
+			t.Fatalf("PolicyScores differ between Parallelism 1 and 8:\n%+v\nvs\n%+v", s1, s8)
+		}
+	})
+
+	t.Run("warm-rerun-simulates-nothing", func(t *testing.T) {
+		dir := t.TempDir()
+		var cold sim.EngineStats
+		first, err := sim.Fig9(fig9Opts(4, dir, &cold), caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Simulated == 0 {
+			t.Fatal("cold run simulated nothing; stats not wired")
+		}
+		var warm sim.EngineStats
+		second, err := sim.Fig9(fig9Opts(4, dir, &warm), caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Simulated != 0 {
+			t.Errorf("cache-warm re-run simulated %d cells, want 0 (stats %+v)", warm.Simulated, warm)
+		}
+		if warm.StoreHits == 0 {
+			t.Error("cache-warm re-run hit the store zero times")
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("store round-trip changed Fig9 rows:\n%+v\nvs\n%+v", first, second)
+		}
+	})
+}
+
+// TestEngineSharesCellsAcrossSweepPoints asserts the dedup the engine
+// exists for: alone-IPC reference cells are simulated once for the whole
+// sweep rather than once per capacity, so a two-capacity sweep resolves
+// some cells from cache even with no result store.
+func TestEngineSharesCellsAcrossSweepPoints(t *testing.T) {
+	var stats sim.EngineStats
+	if _, err := sim.Fig9(fig9Opts(4, "", &stats), []int{8, 32}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits == 0 {
+		t.Errorf("two-capacity Fig9 sweep had zero cache hits; alone references re-simulated per capacity (stats %+v)", stats)
+	}
+}

@@ -1,0 +1,304 @@
+// Package engine is the parallel experiment engine behind the paper's
+// performance sweeps (Figs. 9-16). Every sweep decomposes into cells —
+// one deterministic simulation each, addressed by a content key that
+// encodes everything the simulation depends on — and the engine executes
+// them on a bounded worker pool. Because each cell derives its seeds from
+// its own content, a parallel run is bit-identical to a serial run
+// regardless of scheduling order.
+//
+// The engine owns three layers of reuse on top of the pool:
+//
+//   - batch dedup: duplicate keys submitted in one Run execute once;
+//   - an in-memory content-keyed cache, so an engine shared across sweep
+//     points (capacities, NRH values, channel counts) never repeats a
+//     cell — this subsumes the alone-IPC memoization the sweeps used to
+//     hand-roll;
+//   - an optional JSON result store (ResultDir), so re-running a sweep
+//     after a crash, or with one new policy, only simulates the delta.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// Cell is one addressable, schedulable, memoizable unit of work.
+type Cell[R any] struct {
+	// Key is the cell's content key: it must encode every input the
+	// computation depends on (configuration, policy, workload, seeds,
+	// tick counts), because equal keys share one result.
+	Key string
+	// Run computes the cell. It must be deterministic given Key and must
+	// not share mutable state with other cells.
+	Run func() (R, error)
+}
+
+// Stats tallies how an engine resolved the cells submitted to it. For
+// batches that complete without error, Submitted = Simulated +
+// CacheHits + StoreHits + Deduped; an aborted batch leaves its
+// unresolved cells counted in Submitted only.
+type Stats struct {
+	Submitted   uint64 // cells passed to Run batches
+	Simulated   uint64 // cells actually computed
+	CacheHits   uint64 // served from the in-memory cache
+	StoreHits   uint64 // loaded from the ResultDir store
+	Deduped     uint64 // duplicate keys within a batch
+	StoreErrors uint64 // results that could not be persisted to ResultDir
+
+	// FirstStoreError describes the first ResultDir write failure, so
+	// callers can report why persistence degraded (permissions, full
+	// disk, ...), not just that it did.
+	FirstStoreError string
+}
+
+// Add accumulates another tally into s.
+func (s *Stats) Add(o Stats) {
+	s.Submitted += o.Submitted
+	s.Simulated += o.Simulated
+	s.CacheHits += o.CacheHits
+	s.StoreHits += o.StoreHits
+	s.Deduped += o.Deduped
+	s.StoreErrors += o.StoreErrors
+	if s.FirstStoreError == "" {
+		s.FirstStoreError = o.FirstStoreError
+	}
+}
+
+// Options configures an engine.
+type Options struct {
+	// Parallelism bounds the worker pool; <= 0 means runtime.NumCPU().
+	Parallelism int
+	// ResultDir, when non-empty, persists each cell's result as a JSON
+	// file named by the SHA-256 of its key, and serves matching cells
+	// from disk on later runs. The directory is created if missing.
+	// Store writes are best-effort: a failed write (disk full,
+	// permissions) never discards the computed result — the cell stays
+	// in the in-memory cache and the failure is tallied in
+	// Stats.StoreErrors / Stats.FirstStoreError.
+	ResultDir string
+	// OnProgress, when set, is called after each cell of a batch
+	// resolves, with the number resolved so far and the batch size. It
+	// is invoked from worker goroutines but never concurrently.
+	OnProgress func(done, total int)
+}
+
+// Engine executes cells on a bounded worker pool with a content-keyed
+// result cache. The zero value is not usable; construct with New.
+type Engine[R any] struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]R
+	stats Stats
+}
+
+// New returns an engine for results of type R.
+func New[R any](opts Options) *Engine[R] {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.NumCPU()
+	}
+	if opts.ResultDir != "" {
+		// Create the store once here; if this fails, each save's
+		// CreateTemp fails too and is tallied in Stats.StoreErrors.
+		os.MkdirAll(opts.ResultDir, 0o755)
+	}
+	return &Engine[R]{opts: opts, cache: make(map[string]R)}
+}
+
+// Parallelism reports the worker pool size.
+func (e *Engine[R]) Parallelism() int { return e.opts.Parallelism }
+
+// Stats returns a snapshot of the engine's resolution tallies.
+func (e *Engine[R]) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run resolves every cell and returns results in submission order.
+// Duplicate keys within the batch compute once; previously resolved keys
+// are served from the cache (or the ResultDir store) without running.
+// The first cell error aborts the batch.
+func (e *Engine[R]) Run(cells []Cell[R]) ([]R, error) {
+	results := make([]R, len(cells))
+
+	// Collapse the batch to unique keys, remembering every position each
+	// key must fill.
+	order := make([]string, 0, len(cells))
+	positions := make(map[string][]int, len(cells))
+	rep := make(map[string]Cell[R], len(cells))
+	for i, c := range cells {
+		if c.Run == nil {
+			return nil, fmt.Errorf("engine: cell %d (%q) has no Run", i, c.Key)
+		}
+		if _, ok := positions[c.Key]; !ok {
+			order = append(order, c.Key)
+			rep[c.Key] = c
+		}
+		positions[c.Key] = append(positions[c.Key], i)
+	}
+	e.mu.Lock()
+	e.stats.Submitted += uint64(len(cells))
+	e.stats.Deduped += uint64(len(cells) - len(order))
+	e.mu.Unlock()
+
+	jobs := make(chan string)
+	var wg sync.WaitGroup
+	var firstErr error
+	var aborted bool
+	var prog struct {
+		sync.Mutex
+		done int
+	}
+	for w := 0; w < e.opts.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range jobs {
+				e.mu.Lock()
+				skip := aborted
+				e.mu.Unlock()
+				if skip {
+					continue
+				}
+				r, err := e.resolve(rep[key])
+				if err != nil {
+					e.mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+						aborted = true
+					}
+					e.mu.Unlock()
+					continue
+				}
+				for _, i := range positions[key] {
+					results[i] = r
+				}
+				if e.opts.OnProgress != nil {
+					prog.Lock()
+					prog.done += len(positions[key])
+					e.opts.OnProgress(prog.done, len(cells))
+					prog.Unlock()
+				}
+			}
+		}()
+	}
+	for _, key := range order {
+		jobs <- key
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// resolve returns the cell's result from the cache, the store, or by
+// running it, in that order.
+func (e *Engine[R]) resolve(c Cell[R]) (R, error) {
+	e.mu.Lock()
+	if r, ok := e.cache[c.Key]; ok {
+		e.stats.CacheHits++
+		e.mu.Unlock()
+		return r, nil
+	}
+	e.mu.Unlock()
+
+	if r, ok := e.load(c.Key); ok {
+		e.mu.Lock()
+		e.cache[c.Key] = r
+		e.stats.StoreHits++
+		e.mu.Unlock()
+		return r, nil
+	}
+
+	r, err := c.Run()
+	if err != nil {
+		return r, err
+	}
+	e.mu.Lock()
+	e.cache[c.Key] = r
+	e.stats.Simulated++
+	e.mu.Unlock()
+	if err := e.save(c.Key, r); err != nil {
+		// Best-effort: never throw away a computed result over a store
+		// write failure; record it and carry on from the memory cache.
+		e.mu.Lock()
+		e.stats.StoreErrors++
+		if e.stats.FirstStoreError == "" {
+			e.stats.FirstStoreError = err.Error()
+		}
+		e.mu.Unlock()
+	}
+	return r, nil
+}
+
+// storedCell is the on-disk JSON schema of one cell result. The full key
+// is stored alongside the result so files are self-describing and a
+// (vanishingly unlikely) hash collision is detected rather than served.
+type storedCell[R any] struct {
+	Key    string `json:"key"`
+	Result R      `json:"result"`
+}
+
+func (e *Engine[R]) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(e.opts.ResultDir, hex.EncodeToString(sum[:])+".json")
+}
+
+// load fetches a stored result for key, if the store is enabled and has
+// one. Unreadable or mismatched files are treated as misses: the cell
+// re-simulates and overwrites them.
+func (e *Engine[R]) load(key string) (R, bool) {
+	var zero R
+	if e.opts.ResultDir == "" {
+		return zero, false
+	}
+	data, err := os.ReadFile(e.path(key))
+	if err != nil {
+		return zero, false
+	}
+	var sc storedCell[R]
+	if err := json.Unmarshal(data, &sc); err != nil || sc.Key != key {
+		return zero, false
+	}
+	return sc.Result, true
+}
+
+// save persists a result if the store is enabled, writing via a
+// temporary file so a crash never leaves a truncated cell behind.
+func (e *Engine[R]) save(key string, r R) error {
+	if e.opts.ResultDir == "" {
+		return nil
+	}
+	data, err := json.Marshal(storedCell[R]{Key: key, Result: r})
+	if err != nil {
+		return fmt.Errorf("engine: marshal cell %q: %w", key, err)
+	}
+	dst := e.path(key)
+	tmp, err := os.CreateTemp(e.opts.ResultDir, "cell-*.tmp")
+	if err != nil {
+		return fmt.Errorf("engine: result store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: result store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: result store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: result store: %w", err)
+	}
+	return nil
+}

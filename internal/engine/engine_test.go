@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// countingCell returns a cell whose Run increments runs and returns v.
+func countingCell(key string, v int, runs *atomic.Int64) Cell[int] {
+	return Cell[int]{Key: key, Run: func() (int, error) {
+		runs.Add(1)
+		return v, nil
+	}}
+}
+
+func TestRunPreservesOrder(t *testing.T) {
+	e := New[int](Options{Parallelism: 4})
+	var runs atomic.Int64
+	var cells []Cell[int]
+	for i := 0; i < 100; i++ {
+		cells = append(cells, countingCell(fmt.Sprintf("c%d", i), i*i, &runs))
+	}
+	got, err := e.Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+	if runs.Load() != 100 {
+		t.Errorf("ran %d cells, want 100", runs.Load())
+	}
+}
+
+func TestBatchDedup(t *testing.T) {
+	e := New[int](Options{Parallelism: 8})
+	var runs atomic.Int64
+	var cells []Cell[int]
+	for i := 0; i < 40; i++ {
+		cells = append(cells, countingCell(fmt.Sprintf("c%d", i%4), (i%4)*10, &runs))
+	}
+	got, err := e.Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != (i%4)*10 {
+			t.Fatalf("result %d = %d, want %d", i, v, (i%4)*10)
+		}
+	}
+	if runs.Load() != 4 {
+		t.Errorf("ran %d cells, want 4", runs.Load())
+	}
+	s := e.Stats()
+	if s.Submitted != 40 || s.Simulated != 4 || s.Deduped != 36 {
+		t.Errorf("stats = %+v, want 40 submitted / 4 simulated / 36 deduped", s)
+	}
+}
+
+func TestCacheAcrossBatches(t *testing.T) {
+	e := New[int](Options{Parallelism: 2})
+	var runs atomic.Int64
+	cells := []Cell[int]{countingCell("a", 1, &runs), countingCell("b", 2, &runs)}
+	if _, err := e.Run(cells); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(cells); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 2 {
+		t.Errorf("ran %d cells across two batches, want 2", runs.Load())
+	}
+	if s := e.Stats(); s.CacheHits != 2 {
+		t.Errorf("cache hits = %d, want 2", s.CacheHits)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	type payload struct {
+		X []float64 `json:"x"`
+		N int       `json:"n"`
+	}
+	dir := t.TempDir()
+	var runs atomic.Int64
+	cell := Cell[payload]{Key: "sweep/cap=8", Run: func() (payload, error) {
+		runs.Add(1)
+		return payload{X: []float64{1.5, 2.5}, N: 7}, nil
+	}}
+
+	e1 := New[payload](Options{Parallelism: 1, ResultDir: dir})
+	first, err := e1.Run([]Cell[payload]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine with the same store must serve the cell from disk.
+	e2 := New[payload](Options{Parallelism: 1, ResultDir: dir})
+	second, err := e2.Run([]Cell[payload]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("ran %d times, want 1 (store hit)", runs.Load())
+	}
+	if s := e2.Stats(); s.StoreHits != 1 || s.Simulated != 0 {
+		t.Errorf("stats = %+v, want 1 store hit and 0 simulated", s)
+	}
+	if second[0].N != first[0].N || second[0].X[0] != first[0].X[0] || second[0].X[1] != first[0].X[1] {
+		t.Errorf("store round-trip changed result: %+v vs %+v", second[0], first[0])
+	}
+}
+
+func TestStoreCorruptFileResimulates(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	cell := countingCell("k", 42, &runs)
+
+	e := New[int](Options{Parallelism: 1, ResultDir: dir})
+	if _, err := e.Run([]Cell[int]{cell}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("store has %d files (err %v), want 1", len(entries), err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, entries[0].Name()), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := New[int](Options{Parallelism: 1, ResultDir: dir})
+	got, err := e2.Run([]Cell[int]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 || runs.Load() != 2 {
+		t.Errorf("corrupt store file not re-simulated: got %d after %d runs", got[0], runs.Load())
+	}
+}
+
+func TestStoreWriteFailureKeepsResult(t *testing.T) {
+	// A ResultDir that cannot be created: parent is a plain file.
+	parent := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(parent, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := New[int](Options{Parallelism: 1, ResultDir: filepath.Join(parent, "store")})
+	var runs atomic.Int64
+	got, err := e.Run([]Cell[int]{countingCell("k", 7, &runs)})
+	if err != nil {
+		t.Fatalf("store write failure aborted the batch: %v", err)
+	}
+	if got[0] != 7 {
+		t.Errorf("result = %d, want 7", got[0])
+	}
+	if s := e.Stats(); s.StoreErrors != 1 || s.Simulated != 1 || s.FirstStoreError == "" {
+		t.Errorf("stats = %+v, want 1 store error (with cause) and 1 simulated", s)
+	}
+	// The result survived in the memory cache.
+	if _, err := e.Run([]Cell[int]{countingCell("k", 7, &runs)}); err != nil || runs.Load() != 1 {
+		t.Errorf("computed result not served from cache after store failure (runs=%d, err=%v)", runs.Load(), err)
+	}
+}
+
+func TestErrorAbortsBatch(t *testing.T) {
+	e := New[int](Options{Parallelism: 2})
+	boom := errors.New("boom")
+	cells := []Cell[int]{
+		{Key: "ok", Run: func() (int, error) { return 1, nil }},
+		{Key: "bad", Run: func() (int, error) { return 0, boom }},
+	}
+	if _, err := e.Run(cells); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if _, err := e.Run([]Cell[int]{{Key: "nil-run"}}); err == nil {
+		t.Fatal("accepted cell without Run")
+	}
+}
+
+func TestProgressReachesTotal(t *testing.T) {
+	var last, calls int
+	e := New[int](Options{Parallelism: 4, OnProgress: func(done, total int) {
+		if done <= last || done > total {
+			t.Errorf("progress went %d -> %d of %d", last, done, total)
+		}
+		last = done
+		calls++
+	}})
+	var runs atomic.Int64
+	var cells []Cell[int]
+	for i := 0; i < 9; i++ {
+		cells = append(cells, countingCell(fmt.Sprintf("c%d", i%3), i%3, &runs))
+	}
+	if _, err := e.Run(cells); err != nil {
+		t.Fatal(err)
+	}
+	if last != 9 {
+		t.Errorf("final progress = %d, want 9", last)
+	}
+	if calls != 3 {
+		t.Errorf("progress calls = %d, want 3 (one per unique key)", calls)
+	}
+}
+
+func TestDefaultParallelism(t *testing.T) {
+	if p := New[int](Options{}).Parallelism(); p < 1 {
+		t.Errorf("default parallelism = %d", p)
+	}
+}

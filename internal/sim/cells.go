@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"hira/internal/engine"
+	"hira/internal/sched"
+	"hira/internal/workload"
+)
+
+// EngineStats tallies how the experiment engine resolved a sweep's cells
+// (simulated vs served from cache or the result store). See Options.Stats.
+type EngineStats = engine.Stats
+
+// CellResult is the JSON-serializable payload of one engine cell: the
+// measured-phase outputs of a full system simulation, or (for reference
+// cells) an alone-IPC value. WeightedSpeedup is deliberately absent — it
+// depends on other cells' alone references and is recomputed when sweeps
+// assemble scores, so a cell's identity covers exactly its own inputs.
+type CellResult struct {
+	IPC        []float64   `json:"ipc,omitempty"`
+	Sched      sched.Stats `json:"sched"`
+	LLCHitRate float64     `json:"llc_hit_rate,omitempty"`
+	Ticks      int         `json:"ticks,omitempty"`
+	Alone      float64     `json:"alone,omitempty"`
+}
+
+// experimentEngine is the engine instantiation every sweep runs on.
+type experimentEngine = engine.Engine[CellResult]
+
+// newEngine builds the experiment engine an options set asks for.
+func newEngine(opts Options) *experimentEngine {
+	return engine.New[CellResult](engine.Options{
+		Parallelism: opts.Parallelism,
+		ResultDir:   opts.ResultDir,
+		OnProgress:  opts.Progress,
+	})
+}
+
+// sweepEngine is the shared preamble of every sweep entry point: it
+// applies option defaults, builds the engine they configure, and returns
+// a flush function (for defer) that accumulates the engine's tallies
+// into opts.Stats once the sweep finishes.
+func sweepEngine(opts Options) (*experimentEngine, Options, func()) {
+	opts = opts.withDefaults()
+	eng := newEngine(opts)
+	flush := func() {
+		if opts.Stats != nil {
+			opts.Stats.Add(eng.Stats())
+		}
+	}
+	return eng, opts, flush
+}
+
+// profileKey encodes a workload profile's full parameter set, not just
+// its name, so tuning a benchmark's characterization (MPKI etc.)
+// invalidates stored cells instead of silently serving stale results.
+func profileKey(p workload.Profile) string {
+	return fmt.Sprintf("%s(%g,%g,%d,%g)", p.Name, p.MPKI, p.RowLocality, p.FootprintMB, p.WriteFrac)
+}
+
+// simCellKey names a full-system simulation cell. It encodes every input
+// NewSystem and Run consume: system shape, refresh policy behavior
+// (mode fields, not the display name, so identically configured policies
+// share a cell), per-core workload profiles, seed, and tick counts.
+func simCellKey(cfg Config, mix workload.Mix, warmup, measure int) string {
+	profiles := make([]string, len(mix.Profiles))
+	for i, p := range mix.Profiles {
+		profiles[i] = profileKey(p)
+	}
+	cov := cfg.SPTCoverage
+	if cov == 0 {
+		cov = defaultSPTCoverage // NewSystem's fallback; keep the key canonical
+	}
+	return fmt.Sprintf(
+		"sim/v2 cores=%d cap=%d ch=%d rk=%d spt=%g seed=%d per=%d prev=%d slack=%d nrh=%d warm=%d meas=%d wl=%s",
+		cfg.Cores, cfg.ChipCapacityGbit, cfg.Channels, cfg.Ranks, cov, cfg.Seed,
+		cfg.Policy.Periodic, cfg.Policy.Preventive, cfg.Policy.SlackTRC, cfg.Policy.NRH,
+		warmup, measure, strings.Join(profiles, ","))
+}
+
+// simCell builds the cell that simulates one (config, policy, mix) point.
+func simCell(cfg Config, mix workload.Mix, warmup, measure int) engine.Cell[CellResult] {
+	return engine.Cell[CellResult]{
+		Key: simCellKey(cfg, mix, warmup, measure),
+		Run: func() (CellResult, error) {
+			sys, err := NewSystem(cfg, mix)
+			if err != nil {
+				return CellResult{}, err
+			}
+			res := sys.Run(warmup, measure, nil)
+			return CellResult{
+				IPC:        res.IPC,
+				Sched:      res.Sched,
+				LLCHitRate: res.LLCHitRate,
+				Ticks:      res.Ticks,
+			}, nil
+		},
+	}
+}
+
+// aloneCellKey names an alone-IPC reference cell.
+func aloneCellKey(p workload.Profile, seed uint64, ticks int) string {
+	return fmt.Sprintf("alone/v2 wl=%s seed=%d ticks=%d", profileKey(p), seed, ticks)
+}
+
+// aloneCell builds the cell that computes one benchmark's alone-IPC
+// reference for weighted speedup.
+func aloneCell(p workload.Profile, seed uint64, ticks int) engine.Cell[CellResult] {
+	return engine.Cell[CellResult]{
+		Key: aloneCellKey(p, seed, ticks),
+		Run: func() (CellResult, error) {
+			return CellResult{Alone: AloneIPC(p, seed, ticks)}, nil
+		},
+	}
+}

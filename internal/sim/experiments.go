@@ -1,10 +1,9 @@
 package sim
 
 import (
-	"fmt"
-
 	"hira/internal/cache"
 	"hira/internal/cpu"
+	"hira/internal/engine"
 	"hira/internal/metrics"
 	"hira/internal/workload"
 )
@@ -69,29 +68,11 @@ func AloneIPC(p workload.Profile, seed uint64, ticks int) float64 {
 	return c.IPC(float64(ticks) * cpuCyclesPerTick)
 }
 
-// aloneCache memoizes AloneIPC per benchmark name and core seed.
-type aloneCache struct {
-	ticks int
-	seedF func(core int) uint64
-	cache map[string]float64
-}
-
-func newAloneCache(ticks int, baseSeed uint64) *aloneCache {
-	return &aloneCache{
-		ticks: ticks,
-		seedF: func(c int) uint64 { return baseSeed*1000003 + uint64(c)*7919 + 11 },
-		cache: map[string]float64{},
-	}
-}
-
-func (a *aloneCache) get(p workload.Profile, coreID int) float64 {
-	key := fmt.Sprintf("%s/%d", p.Name, coreID)
-	if v, ok := a.cache[key]; ok {
-		return v
-	}
-	v := AloneIPC(p, a.seedF(coreID), a.ticks)
-	a.cache[key] = v
-	return v
+// aloneSeed derives the deterministic per-core workload seed used both by
+// NewSystem's shared-run generators and the alone-IPC reference cells, so
+// the two drive identical workload streams.
+func aloneSeed(baseSeed uint64, core int) uint64 {
+	return baseSeed*1000003 + uint64(core)*7919 + 11
 }
 
 // Options sizes an experiment sweep. The paper runs 125 mixes of 200M
@@ -103,6 +84,20 @@ type Options struct {
 	Warmup    int // warmup memory ticks (default 30000)
 	Measure   int // measured memory ticks (default 120000)
 	Seed      uint64
+
+	// Parallelism bounds the experiment engine's worker pool; 0 means
+	// one worker per CPU core. Results are bit-identical at any setting
+	// because every cell seeds from its own content.
+	Parallelism int
+	// ResultDir, when non-empty, persists per-cell JSON results keyed by
+	// cell hash, so re-running a sweep after a crash or with one new
+	// policy only simulates the delta.
+	ResultDir string
+	// Progress, when set, is called as a batch's cells resolve.
+	Progress func(done, total int)
+	// Stats, when set, accumulates the engine's resolution tallies
+	// (simulated vs cache/store hits) across the sweep.
+	Stats *EngineStats
 }
 
 func (o Options) withDefaults() Options {
@@ -141,31 +136,67 @@ type SchedAggregate struct {
 }
 
 // RunPolicies evaluates each policy on the same mixes and returns average
-// weighted speedups.
+// weighted speedups. Cells run on a fresh experiment engine; sweeps that
+// evaluate many points (Fig9, Fig12, ...) share one engine across points
+// so repeated cells simulate once.
 func RunPolicies(base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
-	opts = opts.withDefaults()
-	mixes := workload.Mixes(opts.Workloads, opts.Cores, opts.Seed)
-	alone := newAloneCache(opts.Measure, opts.Seed)
+	eng, opts, flush := sweepEngine(opts)
+	defer flush()
+	return runPolicies(eng, base, policies, opts)
+}
 
-	scores := make([]PolicyScore, len(policies))
-	for pi, pol := range policies {
+// runPolicies submits one batch to eng: the alone-IPC reference cells the
+// mixes need, plus one simulation cell per (policy, mix), then assembles
+// weighted speedups from the resolved results. opts must already have
+// defaults applied (callers go through sweepEngine).
+func runPolicies(eng *experimentEngine, base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
+	mixes := workload.Mixes(opts.Workloads, opts.Cores, opts.Seed)
+
+	var cells []engine.Cell[CellResult]
+	aloneIdx := map[string]int{}           // alone cell key -> index into cells
+	aloneRefs := make([][]int, len(mixes)) // mix -> core -> index into cells
+	for mi, mix := range mixes {
+		aloneRefs[mi] = make([]int, len(mix.Profiles))
+		for c, p := range mix.Profiles {
+			key := aloneCellKey(p, aloneSeed(opts.Seed, c), opts.Measure)
+			idx, ok := aloneIdx[key]
+			if !ok {
+				idx = len(cells)
+				aloneIdx[key] = idx
+				cells = append(cells, aloneCell(p, aloneSeed(opts.Seed, c), opts.Measure))
+			}
+			aloneRefs[mi][c] = idx
+		}
+	}
+	simStart := len(cells)
+	for _, pol := range policies {
 		cfg := base
 		cfg.Cores = opts.Cores
 		cfg.Policy = pol
 		cfg.Seed = opts.Seed
+		for _, mix := range mixes {
+			cells = append(cells, simCell(cfg, mix, opts.Warmup, opts.Measure))
+		}
+	}
+
+	results, err := eng.Run(cells)
+	if err != nil {
+		return nil, err
+	}
+
+	scores := make([]PolicyScore, len(policies))
+	next := simStart
+	for pi, pol := range policies {
 		var ws []float64
 		var agg SchedAggregate
-		for _, mix := range mixes {
-			sys, err := NewSystem(cfg, mix)
-			if err != nil {
-				return nil, err
-			}
+		for mi := range mixes {
+			res := results[next]
+			next++
 			ipcAlone := make([]float64, opts.Cores)
-			for c, p := range mix.Profiles {
-				ipcAlone[c] = alone.get(p, c)
+			for c, ref := range aloneRefs[mi] {
+				ipcAlone[c] = results[ref].Alone
 			}
-			res := sys.Run(opts.Warmup, opts.Measure, ipcAlone)
-			ws = append(ws, res.WeightedSpeedup)
+			ws = append(ws, metrics.WeightedSpeedup(res.IPC, ipcAlone))
 			agg.HiRAPiggybacks += res.Sched.HiRAPiggybacks
 			agg.HiRAPairs += res.Sched.HiRAPairs
 			agg.StandaloneRefreshes += res.Sched.StandaloneRefreshes
@@ -201,11 +232,13 @@ func Fig9(opts Options, capacities []int) ([]Fig9Row, error) {
 		NoRefreshPolicy(), BaselinePolicy(),
 		HiRAPeriodicPolicy(0), HiRAPeriodicPolicy(2), HiRAPeriodicPolicy(4), HiRAPeriodicPolicy(8),
 	}
+	eng, opts, flush := sweepEngine(opts)
+	defer flush()
 	var rows []Fig9Row
 	for _, cap := range capacities {
 		base := DefaultConfig()
 		base.ChipCapacityGbit = cap
-		scores, err := RunPolicies(base, policies, opts)
+		scores, err := runPolicies(eng, base, policies, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -244,6 +277,8 @@ func Fig12(opts Options, nrhs []int) ([]Fig12Row, error) {
 	if nrhs == nil {
 		nrhs = Fig12NRHValues()
 	}
+	eng, opts, flush := sweepEngine(opts)
+	defer flush()
 	var rows []Fig12Row
 	for _, nrh := range nrhs {
 		policies := []RefreshPolicy{
@@ -251,7 +286,7 @@ func Fig12(opts Options, nrhs []int) ([]Fig12Row, error) {
 			PARAHiRAPolicy(nrh, 0), PARAHiRAPolicy(nrh, 2),
 			PARAHiRAPolicy(nrh, 4), PARAHiRAPolicy(nrh, 8),
 		}
-		scores, err := RunPolicies(DefaultConfig(), policies, opts)
+		scores, err := runPolicies(eng, DefaultConfig(), policies, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -284,9 +319,12 @@ type ScaleRow struct {
 	WS    map[string]float64
 }
 
-// scaleSweep runs policies across a channels/ranks sweep.
+// scaleSweep runs policies across a channels/ranks sweep on one shared
+// engine, so cells repeated across sweep points simulate once.
 func scaleSweep(opts Options, xs []int, params []int, channels bool,
 	mkPolicies func(param int) []RefreshPolicy, mkCap func(param int) int) ([]ScaleRow, error) {
+	eng, opts, flush := sweepEngine(opts)
+	defer flush()
 	var rows []ScaleRow
 	for _, param := range params {
 		for _, x := range xs {
@@ -297,7 +335,7 @@ func scaleSweep(opts Options, xs []int, params []int, channels bool,
 			} else {
 				base.Ranks = x
 			}
-			scores, err := RunPolicies(base, mkPolicies(param), opts)
+			scores, err := runPolicies(eng, base, mkPolicies(param), opts)
 			if err != nil {
 				return nil, err
 			}

@@ -28,6 +28,12 @@ const cpuCyclesPerTick = 3.2e9 * 0.833e-9
 // cycles (charged as a retirement delay through the completion path).
 const llcHitLatencyCycles = 40
 
+// defaultSPTCoverage is §7's pairable-subarray fraction, applied when
+// Config.SPTCoverage is zero. simCellKey canonicalizes with the same
+// constant so a cell's content key can never disagree with what
+// NewSystem simulates.
+const defaultSPTCoverage = 0.32
+
 // RefreshPolicy names a refresh configuration under test.
 type RefreshPolicy struct {
 	// Name labels the configuration in reports ("Baseline", "HiRA-2"...).
@@ -184,7 +190,7 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 	if cfg.Policy.Periodic == core.PeriodicHiRA || cfg.Policy.Preventive == core.PreventiveHiRA {
 		cov := cfg.SPTCoverage
 		if cov == 0 {
-			cov = 0.32
+			cov = defaultSPTCoverage
 		}
 		ecfg.SPT = core.NewSyntheticSPT(org.SubarraysPerBank, cov, 0xD1CE+cfg.Seed)
 	}
@@ -217,7 +223,7 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 		retiredAt:   make([]uint64, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		gen := workload.NewGenerator(mix.Profiles[i], cfg.Seed*1000003+uint64(i)*7919+11)
+		gen := workload.NewGenerator(mix.Profiles[i], aloneSeed(cfg.Seed, i))
 		c := cpu.New(i, gen, &coreMemory{s: s, core: i})
 		s.cores = append(s.cores, c)
 	}
