@@ -1,0 +1,124 @@
+// Command hira-benchjson converts a `go test -json -bench ...` event
+// stream (stdin) into a compact JSON benchmark report (stdout): one
+// record per benchmark with its iteration count, ns/op, and every custom
+// metric (speedup, cmds/tick, allocs/op, ...). CI pipes the bench job
+// through it to publish BENCH_pr2.json, the start of the repo's recorded
+// performance trajectory.
+//
+//	go test -run '^$' -bench 'Fig9Periodic|ControllerSteadyState' \
+//	    -benchtime=1x -json . ./internal/sched | hira-benchjson > BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of test2json's event schema we consume.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// result is one benchmark's parsed outcome.
+type result struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// parseBenchLine parses a benchmark result line like
+//
+//	BenchmarkFoo-8   	     123	  45678 ns/op	   2.5 speedup	  0 allocs/op
+//
+// returning ok=false for non-benchmark output.
+func parseBenchLine(pkg, line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{
+		Package:    pkg,
+		Name:       strings.TrimSuffix(fields[0], "-"+lastDashSuffix(fields[0])),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+// lastDashSuffix returns the GOMAXPROCS suffix of a benchmark name
+// ("BenchmarkFoo-8" -> "8"), or "" if none.
+func lastDashSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[i+1:]
+		}
+	}
+	return ""
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results := []result{}
+	// test2json splits a benchmark's result across output events (the
+	// name flushes before the timed numbers), so output is re-assembled
+	// into lines per (package, test) stream before parsing.
+	partial := map[string]string{}
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate plain `go test -bench` output too.
+			if r, ok := parseBenchLine("", strings.TrimSpace(string(line))); ok {
+				results = append(results, r)
+			}
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		key := ev.Package + "/" + ev.Test
+		buf := partial[key] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			if r, ok := parseBenchLine(ev.Package, strings.TrimSpace(buf[:nl])); ok {
+				results = append(results, r)
+			}
+			buf = buf[nl+1:]
+		}
+		partial[key] = buf
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

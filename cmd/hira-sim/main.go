@@ -14,20 +14,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"hira"
 )
 
 var (
-	exp       = flag.String("exp", "fig9", "experiment: fig9|fig12|fig13|fig14|fig15|fig16")
-	workloads = flag.Int("workloads", 4, "number of 8-core multiprogrammed mixes")
-	ticks     = flag.Int("ticks", 120000, "measured memory-controller ticks per run")
-	warmup    = flag.Int("warmup", 30000, "warmup ticks per run")
-	seed      = flag.Uint64("seed", 1, "workload seed")
-	parallel  = flag.Int("parallel", 0, "engine worker pool size (0 = one per CPU core)")
-	results   = flag.String("results", "", "directory for per-cell JSON results (reused across runs)")
-	progress  = flag.Bool("progress", false, "print per-batch cell progress to stderr")
+	exp        = flag.String("exp", "fig9", "experiment: fig9|fig12|fig13|fig14|fig15|fig16")
+	workloads  = flag.Int("workloads", 4, "number of 8-core multiprogrammed mixes")
+	ticks      = flag.Int("ticks", 120000, "measured memory-controller ticks per run")
+	warmup     = flag.Int("warmup", 30000, "warmup ticks per run")
+	seed       = flag.Uint64("seed", 1, "workload seed")
+	parallel   = flag.Int("parallel", 0, "engine worker pool size (0 = one per CPU core)")
+	results    = flag.String("results", "", "directory for per-cell JSON results (reused across runs)")
+	progress   = flag.Bool("progress", false, "print per-batch cell progress to stderr")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 )
 
 // engineStats accumulates cache/simulation tallies across the experiment.
@@ -154,6 +158,39 @@ func scale(rows []hira.ScaleRow, xName, pName string, err error) error {
 
 func main() {
 	flag.Parse()
+	// run does the work so deferred profile flushes survive error exits
+	// (os.Exit would skip them and leave a truncated CPU profile).
+	os.Exit(run())
+}
+
+func run() int {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 	var err error
 	switch *exp {
 	case "fig9":
@@ -178,12 +215,12 @@ func main() {
 		err = scale(rows, "ranks", "NRH", e)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
 	endProgressLine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "engine: %d cells (%d simulated, %d cache hits, %d store hits, %d deduped)\n",
 		engineStats.Submitted, engineStats.Simulated, engineStats.CacheHits,
@@ -192,4 +229,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: %d cell results could not be persisted to -results %s (%s)\n",
 			engineStats.StoreErrors, *results, engineStats.FirstStoreError)
 	}
+	return 0
 }

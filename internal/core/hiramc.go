@@ -68,24 +68,65 @@ type refEntry struct {
 
 // bankRC is HiRA-MC's per-bank state.
 type bankRC struct {
+	ch      int        // owning channel
 	queue   []refEntry // Refresh Table slice for this bank, FIFO by deadline
 	prDepth int        // occupancy of the 4-entry PR-FIFO portion
+
+	// minDeadline caches the earliest deadline in queue (valid while
+	// queue is non-empty), so Mandatory's arming scan and Piggyback's
+	// urgency filter are O(1) per bank when nothing is due.
+	minDeadline dram.Time
 
 	// RefPtr Table slice: next row to refresh per subarray, plus the
 	// count of rows refreshed this window for balanced advancement.
 	refPtr    []int
 	refreshed []int
+	// minRef caches min(refreshed): the starvation floor the
+	// refresh-completeness guards compare against.
+	minRef int
 
 	periodicDue dram.Time
 
 	// armed is a mandatory op built from queue entries, re-offered until
 	// the controller performs it.
-	armed      *sched.Op
+	armed      sched.Op
+	armedSet   bool
 	armedCount int // queue entries consumed by armed (1 or 2)
 
 	// offered is a piggyback candidate awaiting confirmation.
 	offered    *refEntry
 	offeredRow int
+}
+
+// pushEntry appends a Refresh Table entry, maintaining the bank's
+// minDeadline and the channel's deadline lower bound.
+func (m *HiRAMC) pushEntry(b *bankRC, e refEntry) {
+	if len(b.queue) == 0 || e.deadline < b.minDeadline {
+		b.minDeadline = e.deadline
+	}
+	if e.deadline < m.chNext[b.ch] {
+		m.chNext[b.ch] = e.deadline
+	}
+	b.queue = append(b.queue, e)
+}
+
+// removeEntry deletes the entry at index i, maintaining minDeadline.
+func (b *bankRC) removeEntry(i int) {
+	b.queue = append(b.queue[:i], b.queue[i+1:]...)
+	b.recalcMinDeadline()
+}
+
+func (b *bankRC) recalcMinDeadline() {
+	if len(b.queue) == 0 {
+		return
+	}
+	min := b.queue[0].deadline
+	for _, e := range b.queue[1:] {
+		if e.deadline < min {
+			min = e.deadline
+		}
+	}
+	b.minDeadline = min
 }
 
 // RefreshTableCap is the per-rank Refresh Table capacity (§6: 68 entries).
@@ -107,6 +148,14 @@ type HiRAMC struct {
 	windowReset dram.Time
 	genPtr      int        // rotation pointer for periodic generation
 	scratch     []sched.Op // reusable Mandatory result buffer
+	allSA       []int      // reusable all-subarrays candidate list
+
+	// Per-channel aggregates gating the per-tick Mandatory work: chNext
+	// is a lower bound on the earliest queued deadline in the channel
+	// (refreshed to the exact value on every full bank scan), chArmed
+	// counts banks holding an armed op.
+	chNext  []dram.Time
+	chArmed []int
 
 	// Stats.
 	Generated, GeneratedPreventive uint64
@@ -137,8 +186,19 @@ func New(cfg Config) (*HiRAMC, error) {
 	// less than tRC away.
 	m.lead = cfg.Timing.TRC
 	m.windowReset = cfg.Timing.TREFW
+	m.allSA = make([]int, cfg.Org.SubarraysPerBank)
+	for i := range m.allSA {
+		m.allSA[i] = i
+	}
+	m.chNext = make([]dram.Time, cfg.Org.Channels)
+	for i := range m.chNext {
+		m.chNext[i] = dram.MaxTime()
+	}
+	m.chArmed = make([]int, cfg.Org.Channels)
+	perChan := cfg.Org.RanksPerChannel * cfg.Org.BanksPerRank()
 	for i := range m.banks {
 		b := &bankRC{
+			ch:        i / perChan,
 			refPtr:    make([]int, cfg.Org.SubarraysPerBank),
 			refreshed: make([]int, cfg.Org.SubarraysPerBank),
 		}
@@ -191,7 +251,7 @@ func (m *HiRAMC) Tick(now dram.Time) {
 			return
 		}
 		for now >= b.periodicDue {
-			b.queue = append(b.queue, refEntry{
+			m.pushEntry(b, refEntry{
 				deadline: b.periodicDue + m.cfg.RefSlack,
 				row:      -1,
 			})
@@ -234,7 +294,7 @@ func (m *HiRAMC) NoteActivate(loc dram.Location, demand bool, now dram.Time) {
 		e.deadline = now
 	}
 	b.prDepth++
-	b.queue = append(b.queue, e)
+	m.pushEntry(b, e)
 	m.GeneratedPreventive++
 }
 
@@ -251,15 +311,6 @@ func (b *bankRC) chooseSubarray(candidates []int) int {
 	return best
 }
 
-// allSubarrays is a reusable index list for unconstrained choices.
-func (m *HiRAMC) allSubarrays() []int {
-	out := make([]int, m.cfg.Org.SubarraysPerBank)
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
-
 // Piggyback implements sched.RefreshEngine: Case 1 of §5.1.3. The demand
 // access is about to activate loc.Row; offer a row whose subarray is
 // isolated from the demand row's subarray.
@@ -269,18 +320,22 @@ func (m *HiRAMC) Piggyback(loc dram.Location, now dram.Time) (int, bool) {
 	}
 	b := m.bank(loc.Channel, loc.Rank, loc.Bank)
 	b.offered = nil
-	if b.armed != nil || len(b.queue) == 0 {
+	if b.armedSet || len(b.queue) == 0 {
+		return 0, false
+	}
+	// Only entries whose deadline is approaching are worth hiding: a
+	// refresh with ample slack left can still ride a later access or an
+	// idle-bank window, while the HiRA prologue taxes this access by
+	// t1+t2 and an extra activation now.
+	urgency := 2 * m.cfg.Timing.TRC
+	if b.minDeadline-now > urgency {
 		return 0, false
 	}
 	demandSA := m.cfg.Org.SubarrayOfRow(loc.Row)
 	// Iterate entries in deadline order (the queue is near-sorted:
 	// periodic entries are generated in deadline order, preventive ones
 	// appended with equal slack); find the earliest-deadline entry that
-	// can pair with the demand subarray. Only entries whose deadline is
-	// approaching are worth hiding: a refresh with ample slack left can
-	// still ride a later access or an idle-bank window, while the HiRA
-	// prologue taxes this access by t1+t2 and an extra activation now.
-	urgency := 2 * m.cfg.Timing.TRC
+	// can pair with the demand subarray.
 	bestIdx := -1
 	var bestDeadline dram.Time
 	for i := range b.queue {
@@ -320,7 +375,7 @@ func (m *HiRAMC) Piggyback(loc dram.Location, now dram.Time) (int, bool) {
 		// performed on the most-starved subarray, so subarrays that are
 		// never isolated from the demand stream's subarrays still meet
 		// tREFW.
-		if b.refreshed[sa] > b.minRefreshed()+2 {
+		if b.refreshed[sa] > b.minRef+2 {
 			return 0, false
 		}
 		row = sa*m.cfg.Org.RowsPerSubarray + b.refPtr[sa]
@@ -340,14 +395,21 @@ func (m *HiRAMC) Mandatory(channel int, now dram.Time) []sched.Op {
 	if m.ref != nil {
 		m.scratch = append(m.scratch, m.ref.Mandatory(channel, now)...)
 	}
+	// Fast path: no armed bank and the channel's earliest deadline (a
+	// maintained lower bound) is beyond the lead window — nothing to arm
+	// or re-offer.
+	if m.chArmed[channel] == 0 && m.chNext[channel]-now > m.lead {
+		return m.scratch
+	}
 	org := m.cfg.Org
 	base := channel * org.RanksPerChannel * org.BanksPerRank()
 	perChan := org.RanksPerChannel * org.BanksPerRank()
 
+	chNext := dram.MaxTime()
 	for rb := 0; rb < perChan; rb++ {
 		b := m.banks[base+rb]
-		if b.armed == nil {
-			// Arm the earliest due entry of this bank, if any.
+		if !b.armedSet && len(b.queue) > 0 && b.minDeadline-now <= m.lead {
+			// Arm the earliest due entry of this bank.
 			idx := -1
 			for i := range b.queue {
 				e := &b.queue[i]
@@ -362,11 +424,54 @@ func (m *HiRAMC) Mandatory(channel int, now dram.Time) []sched.Op {
 				m.armOp(b, rb/org.BanksPerRank(), rb%org.BanksPerRank(), idx)
 			}
 		}
-		if b.armed != nil {
-			m.scratch = append(m.scratch, *b.armed)
+		if b.armedSet {
+			m.scratch = append(m.scratch, b.armed)
+		}
+		if len(b.queue) > 0 && b.minDeadline < chNext {
+			chNext = b.minDeadline
 		}
 	}
+	m.chNext[channel] = chNext // lower bound is exact after a full scan
 	return m.scratch
+}
+
+// NextEvent implements sched.RefreshEngine: the earliest strictly-future
+// time a queued or yet-to-be-generated refresh can enter the mandatory
+// window. Per-bank granularity matters: one bank's already-due entry must
+// not mask another bank's future arming time, so only candidates after
+// now survive. Banks holding an armed op are excluded — their next arming
+// can only follow the op's completion, a command tick that rescans
+// anyway — as are entries already inside the lead window (the controller
+// tracks the resource times gating them).
+func (m *HiRAMC) NextEvent(now dram.Time) dram.Time {
+	next := dram.MaxTime()
+	if m.ref != nil {
+		if v := m.ref.NextEvent(now); v < next {
+			next = v
+		}
+	}
+	for _, b := range m.banks {
+		if b.armedSet || len(b.queue) == 0 {
+			continue
+		}
+		if v := b.minDeadline - m.lead; v > now && v < next {
+			next = v
+		}
+	}
+	if m.cfg.Periodic == PeriodicHiRA {
+		// The next generated entry becomes mandatory RefSlack-lead after
+		// generation, but never before it exists. The generation rotation
+		// pointer always rests on the globally least-due bank.
+		due := m.banks[m.genPtr].periodicDue
+		v := due + m.cfg.RefSlack - m.lead
+		if v < due {
+			v = due
+		}
+		if v < next {
+			next = v
+		}
+	}
+	return next
 }
 
 // armOp converts the queue entry at idx (and, when possible, a pairable
@@ -380,7 +485,8 @@ func (m *HiRAMC) armOp(b *bankRC, rank, bank, idx int) sched.Op {
 		kind = sched.OpRowRefreshBlocking
 	}
 	op := sched.Op{Kind: kind, Rank: rank, Bank: bank, RowA: rowA, RowB: -1}
-	consumed := []int{idx}
+	consumed := [2]int{idx, 0}
+	nConsumed := 1
 
 	if m.cfg.SPT != nil {
 		// Refresh-refresh parallelization: find a second entry whose row
@@ -398,24 +504,27 @@ func (m *HiRAMC) armOp(b *bankRC, rank, bank, idx int) sched.Op {
 				continue
 			}
 			op = sched.Op{Kind: sched.OpHiRAPair, Rank: rank, Bank: bank, RowA: rowA, RowB: rowB}
-			consumed = append(consumed, j)
+			consumed[1] = j
+			nConsumed = 2
 			break
 		}
 	}
 
 	// Consume entries (highest index first to keep indices valid).
-	if len(consumed) == 2 && consumed[1] < consumed[0] {
+	if nConsumed == 2 && consumed[1] < consumed[0] {
 		consumed[0], consumed[1] = consumed[1], consumed[0]
 	}
-	for i := len(consumed) - 1; i >= 0; i-- {
+	for i := nConsumed - 1; i >= 0; i-- {
 		j := consumed[i]
 		if b.queue[j].preventive {
 			b.prDepth--
 		}
-		b.queue = append(b.queue[:j], b.queue[j+1:]...)
+		b.removeEntry(j)
 	}
-	b.armed = &op
-	b.armedCount = len(consumed)
+	b.armed = op
+	b.armedSet = true
+	b.armedCount = nConsumed
+	m.chArmed[b.ch]++
 	b.offered = nil
 	return op
 }
@@ -430,7 +539,7 @@ func (m *HiRAMC) resolveRow(b *bankRC, e refEntry, partnerSA int) (row, sa int) 
 	}
 	var candidates []int
 	if partnerSA < 0 {
-		candidates = m.allSubarrays()
+		candidates = m.allSA
 	} else {
 		candidates = m.cfg.SPT.Partners(partnerSA)
 	}
@@ -438,7 +547,7 @@ func (m *HiRAMC) resolveRow(b *bankRC, e refEntry, partnerSA int) (row, sa int) 
 	if sa < 0 {
 		return -1, -1
 	}
-	if partnerSA >= 0 && b.refreshed[sa] > b.minRefreshed()+2 {
+	if partnerSA >= 0 && b.refreshed[sa] > b.minRef+2 {
 		// Same completeness guard as Piggyback: a partner-constrained
 		// choice must not run ahead of the most-starved subarray.
 		return -1, -1
@@ -456,13 +565,14 @@ func (m *HiRAMC) NoteRefreshed(op sched.Op, channel int, now dram.Time) {
 		return
 	}
 	b := m.bank(channel, op.Rank, op.Bank)
-	if b.armed != nil && b.armed.RowA == op.RowA && b.armed.RowB == op.RowB && b.armed.Kind == op.Kind {
+	if b.armedSet && b.armed.RowA == op.RowA && b.armed.RowB == op.RowB && b.armed.Kind == op.Kind {
 		m.advancePtr(b, op.RowA)
 		if op.Kind == sched.OpHiRAPair {
 			m.advancePtr(b, op.RowB)
 		}
-		b.armed = nil
+		b.armedSet = false
 		b.armedCount = 0
+		m.chArmed[b.ch]--
 		return
 	}
 	// Piggyback confirmation: consume the offered entry.
@@ -472,7 +582,7 @@ func (m *HiRAMC) NoteRefreshed(op sched.Op, channel int, now dram.Time) {
 				if b.queue[i].preventive {
 					b.prDepth--
 				}
-				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				b.removeEntry(i)
 				break
 			}
 		}
@@ -493,18 +603,14 @@ func (m *HiRAMC) advancePtr(b *bankRC, row int) {
 	if row == sa*m.cfg.Org.RowsPerSubarray+b.refPtr[sa] {
 		b.refPtr[sa] = (b.refPtr[sa] + 1) % m.cfg.Org.RowsPerSubarray
 		b.refreshed[sa]++
-	}
-}
-
-// minRefreshed returns the smallest per-subarray periodic refresh count.
-func (b *bankRC) minRefreshed() int {
-	min := b.refreshed[0]
-	for _, v := range b.refreshed[1:] {
-		if v < min {
-			min = v
+		min := b.refreshed[0]
+		for _, v := range b.refreshed[1:] {
+			if v < min {
+				min = v
+			}
 		}
+		b.minRef = min
 	}
-	return min
 }
 
 // PendingRefreshes returns the total Refresh Table occupancy (for tests).
@@ -512,7 +618,7 @@ func (m *HiRAMC) PendingRefreshes() int {
 	n := 0
 	for _, b := range m.banks {
 		n += len(b.queue)
-		if b.armed != nil {
+		if b.armedSet {
 			n += b.armedCount
 		}
 	}

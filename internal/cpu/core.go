@@ -9,7 +9,11 @@
 // buffer without blocking.
 package cpu
 
-import "hira/internal/workload"
+import (
+	"math"
+
+	"hira/internal/workload"
+)
 
 // MemRequest is a memory request a core asks the memory system to
 // perform.
@@ -44,8 +48,11 @@ type Core struct {
 	token   uint64
 
 	// Outstanding loads, in program order: instruction positions of
-	// misses whose data has not returned.
+	// misses whose data has not returned. The slice is a head-indexed
+	// ring so retiring from the front neither allocates nor leaks the
+	// backing array.
 	outstanding []outstandingLoad
+	outHead     int
 
 	// Retired counts completed instructions (the IPC numerator).
 	Retired uint64
@@ -68,25 +75,33 @@ func New(id int, gen *workload.Generator, mem Memory) *Core {
 
 // Complete signals that the load identified by token has its data.
 func (c *Core) Complete(token uint64) {
-	for i := range c.outstanding {
+	for i := c.outHead; i < len(c.outstanding); i++ {
 		if c.outstanding[i].token == token {
 			c.outstanding[i].done = true
 			break
 		}
 	}
 	// Retire completed loads from the head.
-	for len(c.outstanding) > 0 && c.outstanding[0].done {
-		c.outstanding = c.outstanding[1:]
+	for c.outHead < len(c.outstanding) && c.outstanding[c.outHead].done {
+		c.outHead++
+	}
+	if c.outHead == len(c.outstanding) {
+		c.outstanding = c.outstanding[:0]
+		c.outHead = 0
+	} else if c.outHead > len(c.outstanding)/2 && c.outHead >= 64 {
+		n := copy(c.outstanding, c.outstanding[c.outHead:])
+		c.outstanding = c.outstanding[:n]
+		c.outHead = 0
 	}
 }
 
 // windowHead returns the instruction position of the oldest incomplete
 // load, or issued if none (no retirement blockage).
 func (c *Core) windowHead() uint64 {
-	if len(c.outstanding) == 0 {
+	if c.outHead == len(c.outstanding) {
 		return c.issued
 	}
-	return c.outstanding[0].pos
+	return c.outstanding[c.outHead].pos
 }
 
 // Tick advances the core by budget instruction slots (width x core cycles
@@ -96,7 +111,7 @@ func (c *Core) Tick(budget float64) {
 	for slots > 0 {
 		// Window full: the oldest miss blocks issue once the window is
 		// exhausted.
-		if c.issued-c.windowHead() >= uint64(c.Window) {
+		if c.Blocked() {
 			c.StallCycles += float64(slots)
 			break
 		}
@@ -106,7 +121,7 @@ func (c *Core) Tick(budget float64) {
 				n = slots
 			}
 			// Cap issue to the window boundary.
-			if room := int(uint64(c.Window) - (c.issued - c.windowHead())); n > room {
+			if room := c.room(); n > room {
 				n = room
 			}
 			c.gapLeft -= n
@@ -142,6 +157,62 @@ func (c *Core) Tick(budget float64) {
 	}
 	// Retirement: everything up to the oldest incomplete load has
 	// retired.
+	c.Retired = c.windowHead()
+}
+
+// Blocked reports whether the instruction window is full behind an
+// incomplete load: until a Complete arrives, Tick can only accrue stall
+// cycles, so callers may account those directly and skip the call.
+func (c *Core) Blocked() bool {
+	return c.issued-c.windowHead() >= uint64(c.Window)
+}
+
+// room returns the instruction slots left before the window boundary.
+func (c *Core) room() int {
+	return int(uint64(c.Window) - (c.issued - c.windowHead()))
+}
+
+// IdleTicks returns a lower bound on how many ticks the core can advance
+// without touching memory, assuming no Complete arrives in between:
+// effectively unbounded while the instruction window is full (only a
+// Complete unblocks it), the remaining gap length at the maximum issue
+// rate while between memory accesses, zero otherwise. Callers may replay
+// that many ticks with Skip instead of Tick; maxSlotsPerTick is the
+// largest slot budget a single tick can deliver.
+func (c *Core) IdleTicks(maxSlotsPerTick int) int {
+	if c.Blocked() {
+		return math.MaxInt
+	}
+	if c.gapLeft > 0 {
+		m := c.gapLeft
+		if c.outHead < len(c.outstanding) {
+			// The window head is pinned: issuing shrinks the room.
+			if room := c.room(); room < m {
+				m = room
+			}
+		}
+		return (m - 1) / maxSlotsPerTick
+	}
+	return 0
+}
+
+// Skip replays one tick of the given slot budget through a window that
+// IdleTicks proved memory-inert, bit-identically to Tick: a blocked core
+// accrues stall cycles, a mid-gap core issues gap instructions.
+func (c *Core) Skip(slots int) {
+	if c.Blocked() {
+		c.StallCycles += float64(slots)
+		return
+	}
+	n := c.gapLeft
+	if n > slots {
+		n = slots
+	}
+	if room := c.room(); n > room {
+		n = room
+	}
+	c.gapLeft -= n
+	c.issued += uint64(n)
 	c.Retired = c.windowHead()
 }
 

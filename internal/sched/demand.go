@@ -2,94 +2,220 @@ package sched
 
 import "hira/internal/dram"
 
+// drainWillFlip reports whether the next pickQueue evaluation would
+// change ch.draining with the queues as they are — the hysteresis
+// transition condition, shared with the idle skipper, which must not
+// sleep across a phase change.
+func (c *Controller) drainWillFlip(ch *channel) bool {
+	readN, writeN := ch.q[qRead].count, ch.q[qWrite].count
+	if ch.draining {
+		return writeN <= c.cfg.WriteLow
+	}
+	return writeN >= c.cfg.WriteHigh || (readN == 0 && writeN > 0)
+}
+
+// pickQueue applies the write-drain hysteresis and returns the queue kind
+// to serve, or -1 if there is nothing to do. Writes are served when the
+// write queue is high or there is nothing else to do.
+func (c *Controller) pickQueue(ch *channel) int {
+	if c.drainWillFlip(ch) {
+		ch.draining = !ch.draining
+	}
+	k := qRead
+	if ch.draining {
+		k = qWrite
+	}
+	if ch.q[k].count == 0 {
+		if !ch.draining && ch.q[qWrite].count > 0 {
+			return qWrite
+		}
+		return -1
+	}
+	return k
+}
+
 // scheduleDemand implements FR-FCFS with the open-row policy over the
-// channel's read and write queues.
+// channel's read and write queues, using the per-bank buckets so each
+// pass costs O(banks with work) instead of O(queue depth). It is
+// command-for-command identical to the seed-style linear scans in
+// scheduleDemandRef (proved by TestControllerDifferential).
+//
+// One fused scan over the banks classifies each bank's work into the
+// three passes: the oldest row hit (pass 1), per-bank cursors for the
+// FCFS activation walk (pass 2), and the oldest conflict on a bank with
+// no remaining hits (pass 3). Eligibility is a bank-level property, so
+// classifying heads is enough; time-guard failures record wake-up events
+// for the idle skipper.
 func (c *Controller) scheduleDemand(ch *channel) {
-	// Write drain hysteresis: serve writes when the write queue is high
-	// or there is nothing else to do.
-	if ch.draining {
-		if len(ch.writeQ) <= c.cfg.WriteLow {
-			ch.draining = false
-		}
-	} else if len(ch.writeQ) >= c.cfg.WriteHigh || (len(ch.readQ) == 0 && len(ch.writeQ) > 0) {
-		ch.draining = true
+	k := c.pickQueue(ch)
+	if k < 0 {
+		return
 	}
+	q := &ch.q[k]
+	t := &c.cfg.Timing
 
-	q := &ch.readQ
-	if ch.draining {
-		q = &ch.writeQ
-	}
-	if len(*q) == 0 {
-		if !ch.draining && len(ch.writeQ) > 0 {
-			q = &ch.writeQ
+	var hitBest, preBest *reqNode
+	preFlat := -1
+	cur := ch.cursors[:0]
+	for _, flat := range q.active {
+		bank := &ch.banks[flat]
+		bq := &bank.bq[k]
+		head := bq.head
+		if bank.reserved {
+			continue // freed by sequence/pending-PRE events
+		}
+		if !bank.open {
+			if c.now < bank.readyACT {
+				c.noteEvt(bank.readyACT)
+				continue
+			}
+			cur = append(cur, p2cursor{node: head, flat: flat, left: bq.n})
+			continue
+		}
+		rk := &ch.ranks[c.rankOf[flat]]
+		if bq.hits > 0 {
+			if c.now < bank.readyCol || c.now < rk.refBusy {
+				c.noteEvt(bank.readyCol)
+				c.noteEvt(rk.refBusy)
+				continue
+			}
+			n := head
+			for n.req.Loc.Row != bank.row {
+				n = n.bnext
+			}
+			if hitBest == nil || n.seq < hitBest.seq {
+				hitBest = n
+			}
 		} else {
-			return
+			// No queued request of this bank targets the open row, so
+			// every one of them conflicts and the oldest is the head.
+			// Hits in the other queue must not veto the precharge — a
+			// row-hit write would otherwise deadlock conflicting reads
+			// below the write-drain watermark.
+			if c.now < bank.readyPRE || c.now < rk.refBusy {
+				c.noteEvt(bank.readyPRE)
+				c.noteEvt(rk.refBusy)
+				continue
+			}
+			if preBest == nil || head.seq < preBest.seq {
+				preBest, preFlat = head, flat
+			}
 		}
 	}
 
-	// Pass 1 (FR): first-ready row hits — oldest first.
-	for i, r := range *q {
-		bank := c.bank(ch, r.Loc.Rank, r.Loc.Bank)
-		if bank.reserved || !bank.open || bank.row != r.Loc.Row {
-			continue
-		}
-		if c.now < bank.readyCol || c.now < ch.ranks[r.Loc.Rank].refBusy {
-			continue
-		}
-		if c.issueColumn(ch, r) {
+	// Pass 1 (FR): the oldest ready row hit. All requests in one queue
+	// are the same kind, so burst start times coincide and a busy data
+	// bus fails every candidate alike.
+	if hitBest != nil {
+		if c.issueColumn(ch, &hitBest.req) {
 			c.Stats.RowHits++
-			removeAt(q, i)
+			c.removeNode(ch, k, hitBest)
 			return
 		}
+		lat := t.CL
+		if k == qWrite {
+			lat = t.CWL
+		}
+		c.noteEvt(ch.dataBusFree - lat)
 	}
 
-	// Pass 2 (FCFS): oldest request needing an ACT on a closed, ready
-	// bank.
-	for i, r := range *q {
-		bank := c.bank(ch, r.Loc.Rank, r.Loc.Bank)
-		if bank.reserved || bank.open {
-			continue
+	// Pass 2 (FCFS): merge-walk the closed ready banks' FIFOs in arrival
+	// order; like the seed's linear pass, a failed activation attempt
+	// moves on to the next request rather than giving up. A canACT memo
+	// prunes the walk: once an attempt fails for a rank (or for a rank's
+	// same-group banks), every remaining request it covers is known to
+	// fail identically, so only the blocked counter advances for them —
+	// the engine-visible outcome matches attempting each one.
+	if len(cur) > 0 {
+		memo := ch.seq == nil
+		for r := range ch.p2FailAll {
+			ch.p2FailAll[r] = false
+			ch.p2FailL[r] = false
 		}
-		if c.now < bank.readyACT {
-			continue
+		parked := ch.parked[:0]
+		for len(cur) > 0 {
+			mi := 0
+			for i := 1; i < len(cur); i++ {
+				if cur[i].node.seq < cur[mi].node.seq {
+					mi = i
+				}
+			}
+			cu := cur[mi]
+			n := cu.node
+			rank := n.req.Loc.Rank
+			sameGroup := n.req.Loc.Bank/c.cfg.Org.BanksPerGroup == ch.ranks[rank].lastACTGroup
+			if memo && (ch.p2FailAll[rank] || (sameGroup && ch.p2FailL[rank])) {
+				// A previous attempt already diagnosed this bank's wall;
+				// park it. Its requests are counted in bulk once the
+				// walk's stopping point is known — every one of them
+				// would fail identically, so no attempt is re-run.
+				parked = append(parked, cu)
+				cur[mi] = cur[len(cur)-1]
+				cur = cur[:len(cur)-1]
+				continue
+			}
+			if c.tryActivate(ch, &n.req) {
+				// The per-request reference walk stops exactly here:
+				// parked requests older than the issuing one were
+				// attempted (and counted blocked) before it, younger
+				// ones were never reached.
+				for _, p := range parked {
+					for pn := p.node; pn != nil && pn.seq < n.seq; pn = pn.bnext {
+						c.Stats.CanACTBlocked++
+					}
+				}
+				ch.parked = parked[:0]
+				return
+			}
+			if memo {
+				// With no sequence active the only shared failure mode
+				// is canACT, whose verdict spans the rank (or its
+				// same-group banks).
+				if sameGroup {
+					ch.p2FailL[rank] = true
+				} else {
+					ch.p2FailAll[rank] = true
+				}
+				if n.bnext != nil {
+					parked = append(parked, p2cursor{node: n.bnext, flat: cu.flat, left: cu.left - 1})
+				}
+				cur[mi] = cur[len(cur)-1]
+				cur = cur[:len(cur)-1]
+				continue
+			}
+			if n.bnext != nil {
+				cur[mi].node = n.bnext
+				cur[mi].left--
+			} else {
+				cur[mi] = cur[len(cur)-1]
+				cur = cur[:len(cur)-1]
+			}
 		}
-		if c.tryActivate(ch, q, i, r) {
-			return
+		// No activation issued: the reference walk attempted (and
+		// counted) every request of every eligible bank.
+		for _, p := range parked {
+			c.Stats.CanACTBlocked += uint64(p.left)
 		}
+		ch.parked = parked[:0]
 	}
 
-	// Pass 3: oldest request blocked by a row conflict; close the row if
-	// no queued request still hits it (open-row policy).
-	for _, r := range *q {
-		bank := c.bank(ch, r.Loc.Rank, r.Loc.Bank)
-		if bank.reserved || !bank.open || bank.row == r.Loc.Row {
-			continue
-		}
-		if c.now < bank.readyPRE || c.now < ch.ranks[r.Loc.Rank].refBusy {
-			continue
-		}
-		// Open-row policy: keep the row open only while requests in the
-		// queue currently being served still hit it. (Hits in the other
-		// queue must not veto the precharge — a row-hit write would
-		// otherwise deadlock conflicting reads below the write-drain
-		// watermark.)
-		if anyHit(*q, r.Loc.Rank, r.Loc.Bank, bank.row) {
-			continue
-		}
+	// Pass 3: close the oldest conflicting bank's row (open-row policy).
+	if preBest != nil {
+		r := &preBest.req
 		c.emit(ch, dram.Command{Kind: dram.KindPRE,
 			Loc: dram.Location{BankID: dram.BankID{Rank: r.Loc.Rank, Bank: r.Loc.Bank}}})
 		c.Stats.PREs++
 		c.Stats.RowMisses++
-		bank.open = false
-		bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
-		return
+		c.closeRow(ch, preFlat)
+		bank := &ch.banks[preFlat]
+		bank.readyACT = maxTime(bank.readyACT, c.now+t.TRP)
 	}
 }
 
 // tryActivate issues the ACT for request r, possibly as a HiRA prologue
 // hiding a refresh (refresh-access parallelization). Returns true if a
 // command was issued.
-func (c *Controller) tryActivate(ch *channel, q *[]*Request, i int, r *Request) bool {
+func (c *Controller) tryActivate(ch *channel, r *Request) bool {
 	t := c.cfg.Timing
 	// Ask the engine for a piggyback row (Case 1 of §5.1.3).
 	if ch.seq == nil {
@@ -99,7 +225,7 @@ func (c *Controller) tryActivate(ch *channel, q *[]*Request, i int, r *Request) 
 		}, c.now); ok {
 			// Two activations t1+t2 apart: check power headroom for both.
 			if c.canACT(ch, r.Loc.Rank, r.Loc.Bank, 2, t.T1+t.T2) {
-				c.startHiRASequence(ch, r.Loc.Rank, r.Loc.Bank, row, r.Loc.Row, true, nil)
+				c.startHiRASequence(ch, r.Loc.Rank, r.Loc.Bank, row, r.Loc.Row, true)
 				c.Stats.HiRAPiggybacks++
 				c.engine.NoteRefreshed(Op{Kind: OpRowRefresh, Rank: r.Loc.Rank, Bank: r.Loc.Bank, RowA: row},
 					ch.id, c.now)
@@ -112,7 +238,7 @@ func (c *Controller) tryActivate(ch *channel, q *[]*Request, i int, r *Request) 
 	// pending activations (an ACT to a different bank group may legally
 	// slot into the t1+t2 gap).
 	if s := ch.seq; s != nil && s.rank == r.Loc.Rank {
-		for _, sc := range s.cmds[s.next:] {
+		for _, sc := range s.cmds[s.next:s.n] {
 			if sc.kind != dram.KindACT {
 				continue
 			}
@@ -130,13 +256,13 @@ func (c *Controller) tryActivate(ch *channel, q *[]*Request, i int, r *Request) 
 		c.Stats.CanACTBlocked++
 		return false
 	}
-	bank := c.bank(ch, r.Loc.Rank, r.Loc.Bank)
+	flat := c.flat(r.Loc.Rank, r.Loc.Bank)
+	bank := &ch.banks[flat]
 	c.emit(ch, dram.Command{Kind: dram.KindACT, Loc: r.Loc})
 	c.Stats.ACTs++
 	c.Stats.RowMisses++
 	c.noteACT(ch, r.Loc.Rank, r.Loc.Bank)
-	bank.open = true
-	bank.row = r.Loc.Row
+	c.openRow(ch, flat, r.Loc.Row)
 	bank.actAt = c.now
 	bank.readyCol = c.now + t.TRCD
 	bank.readyPRE = c.now + t.TRAS
@@ -161,7 +287,7 @@ func (c *Controller) issueColumn(ch *channel, r *Request) bool {
 	if ch.dataBusFree > dataAt {
 		return false
 	}
-	bank := c.bank(ch, r.Loc.Rank, r.Loc.Bank)
+	bank := &ch.banks[c.flat(r.Loc.Rank, r.Loc.Bank)]
 	kind := dram.KindRD
 	if r.Write {
 		kind = dram.KindWR
@@ -183,47 +309,22 @@ func (c *Controller) issueColumn(ch *channel, r *Request) bool {
 	return true
 }
 
-// anyHit reports whether any request in q targets the open row.
-func anyHit(q []*Request, rank, bank, row int) bool {
-	for _, r := range q {
-		if r.Loc.Rank == rank && r.Loc.Bank == bank && r.Loc.Row == row {
-			return true
-		}
-	}
-	return false
-}
-
-func removeAt(q *[]*Request, i int) {
-	*q = append((*q)[:i], (*q)[i+1:]...)
-}
-
 // startHiRASequence begins the pre-timed ACT(RowA)-PRE-ACT(RowB) burst on
 // a precharged bank. If access is true, RowB is a demand row that will be
 // readable tRCD after the second ACT; otherwise RowB is also being
 // refreshed and a closing precharge is scheduled tRAS after the second
 // ACT (refresh-refresh parallelization; one PRE closes both rows).
-func (c *Controller) startHiRASequence(ch *channel, rank, bank, rowA, rowB int, access bool, done func(dram.Time)) {
+func (c *Controller) startHiRASequence(ch *channel, rank, bank, rowA, rowB int, access bool) {
 	t := c.cfg.Timing
-	bk := c.bank(ch, rank, bank)
-	cmds := []seqCmd{
-		{kind: dram.KindACT, phase: dram.HiRAFirstACT, rank: rank, bank: bank, row: rowA, due: c.now},
-		{kind: dram.KindPRE, phase: dram.HiRAInterruptPRE, rank: rank, bank: bank, row: rowA, due: c.now + t.T1},
-		{kind: dram.KindACT, phase: dram.HiRASecondACT, rank: rank, bank: bank, row: rowB, due: c.now + t.T1 + t.T2},
-	}
-	s := &sequence{cmds: cmds, rank: rank, access: access, done: done}
-	bk.reserved = true
-	secondAt := c.now + t.T1 + t.T2
-	if access {
-		// The demand row becomes schedulable once the second ACT issues.
-		s.onSecondACT = func(at dram.Time) { bk.reserved = false }
-	} else {
-		// Schedule the closing precharge tRAS after the second ACT; it
-		// clears the reservation.
-		s.onSecondACT = func(at dram.Time) {
-			bk.pendingPRE = true
-			bk.pendingPREAt = secondAt + t.TRAS
-		}
-	}
+	flat := c.flat(rank, bank)
+	s := &ch.seqStore
+	s.cmds[0] = seqCmd{kind: dram.KindACT, phase: dram.HiRAFirstACT, rank: rank, bank: bank, row: rowA, due: c.now}
+	s.cmds[1] = seqCmd{kind: dram.KindPRE, phase: dram.HiRAInterruptPRE, rank: rank, bank: bank, row: rowA, due: c.now + t.T1}
+	s.cmds[2] = seqCmd{kind: dram.KindACT, phase: dram.HiRASecondACT, rank: rank, bank: bank, row: rowB, due: c.now + t.T1 + t.T2}
+	s.n, s.next = 3, 0
+	s.rank, s.flat, s.access = rank, flat, access
+	s.plannedSecond = c.now + t.T1 + t.T2
+	ch.banks[flat].reserved = true
 	ch.seq = s
 	// The caller holds this tick's command-bus slot: issue the first ACT
 	// immediately so t1 is measured from the sequence's real start.

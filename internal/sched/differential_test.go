@@ -1,0 +1,231 @@
+package sched_test
+
+// Differential proof for the event-driven scheduler core: the optimized
+// controller (per-bank indexed queues, idle-tick skipping, canACT
+// memoization, pooled sequences) must emit exactly the same dram.Command
+// stream and sched.Stats as the seed-style tick-by-tick reference
+// (Config.Reference) for every refresh policy the figures exercise.
+
+import (
+	"testing"
+
+	"hira/internal/core"
+	"hira/internal/dram"
+	"hira/internal/sched"
+)
+
+// diffOrg is small enough for fast runs but keeps multiple channels,
+// ranks, and bank groups in play (several of the historical skip bugs —
+// stale engine events masking another bank's arming time, write-drain
+// hysteresis phase drift — only surfaced with more than one channel).
+func diffOrg() dram.Org {
+	o := dram.DefaultOrg()
+	o.SubarraysPerBank = 8
+	o.RowsPerSubarray = 16 // 128 rows per bank
+	o.Channels = 2
+	o.RanksPerChannel = 2
+	return o
+}
+
+func diffTiming() dram.Timing {
+	t := dram.DDR4_2400(8)
+	// Shrink the retention window so periodic refresh work is dense in a
+	// short run.
+	t.TREFW = 256 * dram.Microsecond
+	return t
+}
+
+// diffEngine builds a fresh refresh engine for one controller instance;
+// both controllers of a pair get identically configured engines.
+type diffPolicy struct {
+	name string
+	mk   func(t *testing.T, org dram.Org, tm dram.Timing) sched.RefreshEngine
+}
+
+func diffPolicies() []diffPolicy {
+	mkCore := func(cfg core.Config) func(*testing.T, dram.Org, dram.Timing) sched.RefreshEngine {
+		return func(t *testing.T, org dram.Org, tm dram.Timing) sched.RefreshEngine {
+			cfg := cfg
+			cfg.Org = org
+			cfg.Timing = tm
+			if cfg.Periodic == core.PeriodicHiRA || cfg.Preventive == core.PreventiveHiRA {
+				cfg.SPT = core.NewSyntheticSPT(org.SubarraysPerBank, 0.32, 7)
+			}
+			m, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+	}
+	return []diffPolicy{
+		{"NoRefresh", func(t *testing.T, org dram.Org, tm dram.Timing) sched.RefreshEngine {
+			return sched.NoRefresh{}
+		}},
+		{"Baseline", func(t *testing.T, org dram.Org, tm dram.Timing) sched.RefreshEngine {
+			return sched.NewBaselineREF(org, tm)
+		}},
+		{"HiRA-2", mkCore(core.Config{Periodic: core.PeriodicHiRA, Seed: 11})},
+		{"PARA", mkCore(core.Config{
+			Periodic: core.PeriodicREF, Preventive: core.PreventiveImmediate, Pth: 0.3, Seed: 11})},
+		{"PARA+HiRA-4", mkCore(core.Config{
+			Periodic: core.PeriodicREF, Preventive: core.PreventiveHiRA, Pth: 0.3, Seed: 11})},
+	}
+}
+
+// diffDrive replays one deterministic mixed read/write request schedule
+// against a controller, returning the emitted command stream. Enqueue
+// results are also recorded (queue-full rejections must coincide).
+func diffDrive(t *testing.T, c *sched.Controller, org dram.Org, ticks int) ([]dram.Command, []bool) {
+	t.Helper()
+	var cmds []dram.Command
+	c.CommandHook = func(cmd dram.Command) { cmds = append(cmds, cmd) }
+	var accepts []bool
+	rng := uint64(0xC0FFEE)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	tok := uint64(0)
+	for i := 0; i < ticks; i++ {
+		// Phase-modulated arrivals: bursty mixed traffic, then
+		// write-only stretches (which park the read queue at zero and
+		// walk the drain hysteresis through its oscillating regime),
+		// then silence. Queues cycle between full, draining, and empty —
+		// the regimes where the idle skipper and write hysteresis
+		// engage.
+		phase := (i / 512) % 4
+		n := 0
+		switch next() % 8 {
+		case 0, 1:
+			n = 1
+		case 2:
+			n = 3
+		case 3:
+			n = 8 // burst: drives the queues toward full
+		}
+		if phase == 3 {
+			n = 0 // silence: queues drain dry
+		}
+		for j := 0; j < n; j++ {
+			tok++
+			write := next()%3 == 0
+			if phase == 2 {
+				write = true
+			}
+			// Few rows per bank: frequent row hits and conflicts.
+			loc := dram.Location{
+				BankID: dram.BankID{
+					Channel: int(next() % uint64(org.Channels)),
+					Rank:    int(next() % uint64(org.RanksPerChannel)),
+					Bank:    int(next() % uint64(org.BanksPerRank())),
+				},
+				Row: int(next() % 12),
+				Col: int(next() % 64),
+			}
+			accepts = append(accepts, c.Enqueue(sched.Request{
+				Loc: loc, Write: write, Core: 0, Token: tok,
+			}))
+		}
+		c.Tick()
+	}
+	// Drain with no further arrivals: long idle windows with refresh-only
+	// traffic, the deepest skip territory.
+	for i := 0; i < ticks/2; i++ {
+		c.Tick()
+	}
+	return cmds, accepts
+}
+
+func TestControllerDifferential(t *testing.T) {
+	org := diffOrg()
+	tm := diffTiming()
+	ticks := 120000
+	if testing.Short() {
+		ticks = 30000
+	}
+	for _, pol := range diffPolicies() {
+		pol := pol
+		t.Run(pol.name, func(t *testing.T) {
+			run := func(reference bool) ([]dram.Command, []bool, sched.Stats, dram.Time) {
+				c, err := sched.NewController(
+					sched.Config{Org: org, Timing: tm, Reference: reference}, pol.mk(t, org, tm))
+				if err != nil {
+					t.Fatal(err)
+				}
+				cmds, accepts := diffDrive(t, c, org, ticks)
+				return cmds, accepts, c.Stats, c.Now()
+			}
+			refCmds, refAcc, refStats, refNow := run(true)
+			optCmds, optAcc, optStats, optNow := run(false)
+
+			if len(refCmds) == 0 {
+				t.Fatal("reference run emitted no commands; the workload is not driving the controller")
+			}
+			if optNow != refNow {
+				t.Fatalf("clocks diverged: ref %v opt %v", refNow, optNow)
+			}
+			if len(optCmds) != len(refCmds) {
+				t.Fatalf("command counts diverged: ref %d opt %d", len(refCmds), len(optCmds))
+			}
+			for i := range refCmds {
+				if optCmds[i] != refCmds[i] {
+					t.Fatalf("command %d diverged:\nref: %+v\nopt: %+v", i, refCmds[i], optCmds[i])
+				}
+			}
+			if len(optAcc) != len(refAcc) {
+				t.Fatalf("enqueue counts diverged: ref %d opt %d", len(refAcc), len(optAcc))
+			}
+			for i := range refAcc {
+				if optAcc[i] != refAcc[i] {
+					t.Fatalf("enqueue acceptance %d diverged: ref %v opt %v", i, refAcc[i], optAcc[i])
+				}
+			}
+			if optStats != refStats {
+				t.Fatalf("stats diverged:\nref: %+v\nopt: %+v", refStats, optStats)
+			}
+		})
+	}
+}
+
+// TestControllerDifferentialVerified re-runs one HiRA configuration with
+// the timing verifier and refresh auditor attached to the optimized path,
+// so skipping cannot hide a timing violation the reference would commit
+// identically.
+func TestControllerDifferentialVerified(t *testing.T) {
+	org := diffOrg()
+	tm := diffTiming()
+	eng := diffPolicies()[2] // HiRA-2
+	c, err := sched.NewController(sched.Config{Org: org, Timing: tm}, eng.mk(t, org, tm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := dram.NewVerifier(org, tm)
+	v.MaxT1 = tm.T1 + tm.TCK
+	v.MaxT2 = tm.T2 + tm.TCK
+	c.CommandHook = func(cmd dram.Command) { v.Check(cmd) }
+	rng := uint64(5)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 150000; i++ {
+		if i%5 == 0 {
+			c.Enqueue(sched.Request{Loc: dram.Location{
+				BankID: dram.BankID{
+					Rank: int(next() % uint64(org.RanksPerChannel)),
+					Bank: int(next() % uint64(org.BanksPerRank())),
+				},
+				Row: int(next() % uint64(org.RowsPerBank())),
+			}, Write: next()%4 == 0, Token: uint64(i)})
+		}
+		c.Tick()
+	}
+	if err := v.Err(); err != nil {
+		t.Fatalf("timing violation on optimized path: %v", err)
+	}
+}

@@ -22,6 +22,9 @@ func (NoRefresh) NoteActivate(dram.Location, bool, dram.Time) {}
 // NoteRefreshed implements RefreshEngine.
 func (NoRefresh) NoteRefreshed(Op, int, dram.Time) {}
 
+// NextEvent implements RefreshEngine: nothing ever becomes due.
+func (NoRefresh) NextEvent(dram.Time) dram.Time { return dram.MaxTime() }
+
 // BaselineREF is the conventional refresh policy (§7's baseline): every
 // tREFI, each rank receives an all-bank REF that blocks it for tRFC.
 // Ranks are staggered by tREFI / ranks to avoid refreshing every rank at
@@ -76,4 +79,20 @@ func (b *BaselineREF) NoteRefreshed(op Op, channel int, now dram.Time) {
 			b.nextAt[channel][op.Rank] = now + b.t.TREFI
 		}
 	}
+}
+
+// NextEvent implements RefreshEngine: the next strictly-future REF due
+// time across all channels and ranks. An already-due REF (waiting on its
+// drain or a busy rank) must not mask other ranks' future due times —
+// the controller tracks the resources gating it.
+func (b *BaselineREF) NextEvent(now dram.Time) dram.Time {
+	next := dram.MaxTime()
+	for _, ranks := range b.nextAt {
+		for _, at := range ranks {
+			if at > now && at < next {
+				next = at
+			}
+		}
+	}
+	return next
 }

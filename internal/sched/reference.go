@@ -1,0 +1,86 @@
+package sched
+
+import "hira/internal/dram"
+
+// scheduleDemandRef is the seed's FR-FCFS implementation: three linear
+// scans over the arrival-ordered queue. It is retained as the behavioral
+// reference for the optimized per-bank scheduler (select it with
+// Config.Reference) and is held equal to it, command for command and stat
+// for stat, by the differential tests.
+func (c *Controller) scheduleDemandRef(ch *channel) {
+	k := c.pickQueue(ch)
+	if k < 0 {
+		return
+	}
+	q := &ch.q[k]
+
+	// Pass 1 (FR): first-ready row hits — oldest first.
+	for n := q.ghead; n != nil; n = n.gnext {
+		r := &n.req
+		bank := &ch.banks[c.flat(r.Loc.Rank, r.Loc.Bank)]
+		if bank.reserved || !bank.open || bank.row != r.Loc.Row {
+			continue
+		}
+		if c.now < bank.readyCol || c.now < ch.ranks[r.Loc.Rank].refBusy {
+			continue
+		}
+		if c.issueColumn(ch, r) {
+			c.Stats.RowHits++
+			c.removeNode(ch, k, n)
+			return
+		}
+	}
+
+	// Pass 2 (FCFS): oldest request needing an ACT on a closed, ready
+	// bank.
+	for n := q.ghead; n != nil; n = n.gnext {
+		r := &n.req
+		bank := &ch.banks[c.flat(r.Loc.Rank, r.Loc.Bank)]
+		if bank.reserved || bank.open {
+			continue
+		}
+		if c.now < bank.readyACT {
+			continue
+		}
+		if c.tryActivate(ch, r) {
+			return
+		}
+	}
+
+	// Pass 3: oldest request blocked by a row conflict; close the row if
+	// no queued request still hits it (open-row policy). Hits in the
+	// other queue must not veto the precharge — a row-hit write would
+	// otherwise deadlock conflicting reads below the write-drain
+	// watermark.
+	for n := q.ghead; n != nil; n = n.gnext {
+		r := &n.req
+		flat := c.flat(r.Loc.Rank, r.Loc.Bank)
+		bank := &ch.banks[flat]
+		if bank.reserved || !bank.open || bank.row == r.Loc.Row {
+			continue
+		}
+		if c.now < bank.readyPRE || c.now < ch.ranks[r.Loc.Rank].refBusy {
+			continue
+		}
+		if anyHit(q.ghead, r.Loc.Rank, r.Loc.Bank, bank.row) {
+			continue
+		}
+		c.emit(ch, dram.Command{Kind: dram.KindPRE,
+			Loc: dram.Location{BankID: dram.BankID{Rank: r.Loc.Rank, Bank: r.Loc.Bank}}})
+		c.Stats.PREs++
+		c.Stats.RowMisses++
+		c.closeRow(ch, flat)
+		bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
+		return
+	}
+}
+
+// anyHit reports whether any request in the list targets the open row.
+func anyHit(head *reqNode, rank, bank, row int) bool {
+	for n := head; n != nil; n = n.gnext {
+		if n.req.Loc.Rank == rank && n.req.Loc.Bank == bank && n.req.Loc.Row == row {
+			return true
+		}
+	}
+	return false
+}

@@ -5,15 +5,16 @@ import "hira/internal/dram"
 // issueREFWork advances any in-progress rank REF: draining open banks,
 // then issuing the REF itself. Returns true if a command was issued.
 func (c *Controller) issueREFWork(ch *channel) bool {
-	for rank, rk := range ch.ranks {
+	for rank := range ch.ranks {
+		rk := &ch.ranks[rank]
 		if !rk.pendingREF {
 			continue
 		}
 		rk.refDrain = true
 		allClosed := true
-		base := rank * c.cfg.Org.BanksPerRank()
-		for b := 0; b < c.cfg.Org.BanksPerRank(); b++ {
-			bank := ch.banks[base+b]
+		base := rank * c.bpr
+		for b := 0; b < c.bpr; b++ {
+			bank := &ch.banks[base+b]
 			if bank.reserved || (ch.seq != nil) {
 				allClosed = false
 				continue
@@ -24,10 +25,11 @@ func (c *Controller) issueREFWork(ch *channel) bool {
 					c.emit(ch, dram.Command{Kind: dram.KindPRE,
 						Loc: dram.Location{BankID: dram.BankID{Rank: rank, Bank: b}}})
 					c.Stats.PREs++
-					bank.open = false
+					c.closeRow(ch, base+b)
 					bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
 					return true
 				}
+				c.noteEvt(bank.readyPRE)
 			}
 		}
 		if !allClosed {
@@ -40,8 +42,8 @@ func (c *Controller) issueREFWork(ch *channel) bool {
 		rk.refBusy = c.now + c.cfg.Timing.TRFC
 		rk.pendingREF = false
 		rk.refDrain = false
-		for b := 0; b < c.cfg.Org.BanksPerRank(); b++ {
-			bank := ch.banks[base+b]
+		for b := 0; b < c.bpr; b++ {
+			bank := &ch.banks[base+b]
 			bank.readyACT = maxTime(bank.readyACT, rk.refBusy)
 		}
 		c.engine.NoteRefreshed(Op{Kind: OpRankREF, Rank: rank}, ch.id, c.now)
@@ -55,32 +57,37 @@ func (c *Controller) issueREFWork(ch *channel) bool {
 func (c *Controller) startOp(ch *channel, op Op) bool {
 	switch op.Kind {
 	case OpRankREF:
-		rk := ch.ranks[op.Rank]
+		rk := &ch.ranks[op.Rank]
 		if rk.pendingREF || c.now < rk.refBusy {
+			c.noteEvt(rk.refBusy) // a pending REF's drain is event-tracked above
 			return false
 		}
 		rk.pendingREF = true
 		return c.issueREFWork(ch)
 
 	case OpRowRefresh, OpHiRAPair, OpRowRefreshBlocking:
-		bank := c.bank(ch, op.Rank, op.Bank)
-		rk := ch.ranks[op.Rank]
+		flat := c.flat(op.Rank, op.Bank)
+		bank := &ch.banks[flat]
+		rk := &ch.ranks[op.Rank]
 		if bank.reserved || c.now < rk.refBusy || rk.refDrain {
+			c.noteEvt(rk.refBusy) // reserved/refDrain clear at command ticks
 			return false
 		}
 		if bank.open {
 			// Precharge the target bank first (§5.1.3 Case 2).
 			if c.now < bank.readyPRE {
+				c.noteEvt(bank.readyPRE)
 				return false
 			}
 			c.emit(ch, dram.Command{Kind: dram.KindPRE,
 				Loc: dram.Location{BankID: dram.BankID{Rank: op.Rank, Bank: op.Bank}}})
 			c.Stats.PREs++
-			bank.open = false
+			c.closeRow(ch, flat)
 			bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
 			return true
 		}
 		if c.now < bank.readyACT {
+			c.noteEvt(bank.readyACT)
 			return false
 		}
 		t := c.cfg.Timing
@@ -88,7 +95,7 @@ func (c *Controller) startOp(ch *channel, op Op) bool {
 			if !c.canACT(ch, op.Rank, op.Bank, 2, t.T1+t.T2) {
 				return false
 			}
-			c.startHiRASequence(ch, op.Rank, op.Bank, op.RowA, op.RowB, false, nil)
+			c.startHiRASequence(ch, op.Rank, op.Bank, op.RowA, op.RowB, false)
 			c.Stats.HiRAPairs++
 			c.engine.NoteRefreshed(op, ch.id, c.now)
 			return true
@@ -102,8 +109,7 @@ func (c *Controller) startOp(ch *channel, op Op) bool {
 		c.Stats.ACTs++
 		c.Stats.StandaloneRefreshes++
 		c.noteACT(ch, op.Rank, op.Bank)
-		bank.open = true
-		bank.row = op.RowA
+		c.openRow(ch, flat, op.RowA)
 		bank.actAt = c.now
 		bank.readyCol = c.now + t.TRCD
 		bank.readyPRE = c.now + t.TRAS
@@ -111,6 +117,7 @@ func (c *Controller) startOp(ch *channel, op Op) bool {
 		bank.reserved = true
 		bank.pendingPRE = true
 		bank.pendingPREAt = c.now + t.TRAS
+		ch.pendingPREs++
 		if op.Kind == OpRowRefreshBlocking {
 			// A conventional controller performs the preventive refresh
 			// atomically: the rank is held for a full row cycle.

@@ -10,13 +10,18 @@
 // which the test suite feeds to dram.Verifier to prove the scheduler never
 // violates timing constraints, and to dram.RefreshAuditor to prove no row
 // ever exceeds its retention window.
+//
+// The scheduler core is event-driven and allocation-free in steady state:
+// requests live in freelisted intrusive nodes indexed both per bank and in
+// channel-wide arrival order, the FR-FCFS passes touch only banks with
+// work, and a channel that provably cannot issue a command caches its next
+// event time and skips the scheduling scans until then. Config.Reference
+// selects the original tick-by-tick linear-scan implementation instead;
+// the two are command-for-command and stat-for-stat identical (see
+// TestControllerDifferential).
 package sched
 
-import (
-	"fmt"
-
-	"hira/internal/dram"
-)
+import "hira/internal/dram"
 
 // Request is one memory request entering the controller.
 type Request struct {
@@ -77,6 +82,15 @@ type RefreshEngine interface {
 	// (through any mechanism) at time now. row < 0 with kind OpRankREF
 	// reports a whole-rank REF.
 	NoteRefreshed(op Op, channel int, now dram.Time)
+	// NextEvent returns a lower bound on the next time the engine's
+	// Mandatory set can grow: the earliest moment a queued or
+	// yet-to-be-generated refresh becomes due, or dram.MaxTime() if none
+	// is in sight. The controller uses it to skip idle ticks; returning
+	// an early bound is always safe (it only causes a spurious wake),
+	// returning a late one is not. Operations already visible through
+	// Mandatory need not be reported — the controller tracks the
+	// resource times gating them.
+	NextEvent(now dram.Time) dram.Time
 }
 
 // Stats aggregates controller activity.
@@ -108,6 +122,11 @@ type Config struct {
 	ReadQueueCap, WriteQueueCap int
 	// WriteHigh/WriteLow are write-drain watermarks (defaults 48/16).
 	WriteHigh, WriteLow int
+	// Reference selects the seed-style tick-by-tick scheduler: linear
+	// queue scans every tick, no idle-tick skipping. It exists as the
+	// behavioral reference for differential tests and produces exactly
+	// the same command stream and stats as the optimized core.
+	Reference bool
 }
 
 func (c Config) withDefaults() Config {
@@ -126,12 +145,122 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Queue kinds: each channel keeps one read and one write queue.
+const (
+	qRead = iota
+	qWrite
+)
+
+// reqNode is an intrusive queue node holding one request. Nodes are
+// recycled through the controller's freelist so steady-state enqueue and
+// dequeue never allocate. Each node is linked into two FIFOs: its bank's
+// bucket (bnext/bprev) and the channel-wide arrival list (gnext/gprev).
+// seq is the channel-wide arrival number that orders requests across
+// banks (FR-FCFS's "oldest first").
+type reqNode struct {
+	req          Request
+	seq          uint64
+	bnext, bprev *reqNode
+	gnext, gprev *reqNode
+}
+
+// bankQ is one bank's FIFO bucket within a kindQ.
+type bankQ struct {
+	head, tail *reqNode
+	n          int // queued requests in this bucket
+	// hits counts queued requests targeting the bank's open row. It is
+	// maintained on enqueue/dequeue and recomputed when a row opens
+	// (zeroed when it closes), making the first-ready pass and the
+	// open-row precharge veto O(1) per bank instead of O(queue).
+	hits int
+}
+
+// kindQ is one channel's read or write queue: the arrival-order list (the
+// seed's flat queue, kept for cross-bank ordering and the reference
+// scheduler). The per-bank FIFO buckets live inside bankSt so one bank
+// lookup touches both scheduling and queue state. active is a sparse set
+// of the banks with queued requests, so the scheduler's scans touch only
+// banks with work (its order is immaterial: every consumer selects by
+// arrival number).
+type kindQ struct {
+	ghead, gtail *reqNode
+	count        int
+	active       []int // flat indices of non-empty buckets, unordered
+	pos          []int // flat index -> position in active, -1 if absent
+}
+
+func (c *Controller) pushNode(ch *channel, k int, n *reqNode, flat int) {
+	q := &ch.q[k]
+	if q.gtail == nil {
+		q.ghead = n
+	} else {
+		q.gtail.gnext = n
+		n.gprev = q.gtail
+	}
+	q.gtail = n
+	bq := &ch.banks[flat].bq[k]
+	if bq.tail == nil {
+		bq.head = n
+		q.pos[flat] = len(q.active)
+		q.active = append(q.active, flat)
+	} else {
+		bq.tail.bnext = n
+		n.bprev = bq.tail
+	}
+	bq.tail = n
+	bq.n++
+	q.count++
+}
+
+func (c *Controller) unlinkNode(ch *channel, k int, n *reqNode, flat int) {
+	q := &ch.q[k]
+	if n.gprev != nil {
+		n.gprev.gnext = n.gnext
+	} else {
+		q.ghead = n.gnext
+	}
+	if n.gnext != nil {
+		n.gnext.gprev = n.gprev
+	} else {
+		q.gtail = n.gprev
+	}
+	bq := &ch.banks[flat].bq[k]
+	if n.bprev != nil {
+		n.bprev.bnext = n.bnext
+	} else {
+		bq.head = n.bnext
+	}
+	if n.bnext != nil {
+		n.bnext.bprev = n.bprev
+	} else {
+		bq.tail = n.bprev
+	}
+	bq.n--
+	if bq.head == nil {
+		i := q.pos[flat]
+		last := q.active[len(q.active)-1]
+		q.active[i] = last
+		q.pos[last] = i
+		q.active = q.active[:len(q.active)-1]
+		q.pos[flat] = -1
+	}
+	q.count--
+}
+
 // Controller is the memory request scheduler.
 type Controller struct {
-	cfg    Config
-	now    dram.Time
-	chans  []*channel
-	engine RefreshEngine
+	cfg       Config
+	now       dram.Time
+	chans     []*channel
+	engine    RefreshEngine
+	reference bool
+	bpr       int // banks per rank
+
+	free       *reqNode
+	arrival    uint64
+	rankOf     []int       // flat bank index -> rank (avoids hot division)
+	actScratch []dram.Time // canACT's reusable tFAW timeline
+	evt        dram.Time   // earliest guard-flip time recorded this tick
 
 	// OnComplete is invoked when a read's data has returned (writes
 	// complete on enqueue). May be nil.
@@ -145,15 +274,41 @@ type Controller struct {
 
 type channel struct {
 	id          int
-	readQ       []*Request
-	writeQ      []*Request
-	banks       []*bankSt // flat per channel: rank*banksPerRank + bank
-	ranks       []*rankSt
+	q           [2]kindQ // qRead, qWrite
+	banks       []bankSt // flat per channel: rank*banksPerRank + bank
+	ranks       []rankSt
 	lastCmd     dram.Time
 	hasCmd      bool
 	dataBusFree dram.Time
 	draining    bool
 	seq         *sequence
+	seqStore    sequence
+	pendingPREs int // banks with pendingPRE set
+
+	// Idle-skip state: after a tick that issued no command, idleUntil
+	// holds the earliest time any state transition can occur and the
+	// deltas hold the blocked-counter increments that tick produced.
+	// Until idleUntil — or until a new request arrives, which clears it —
+	// ticking this channel only replays the deltas.
+	idleUntil      dram.Time
+	idleSeqBlocked uint64
+	idleCanACT     uint64
+
+	cursors []p2cursor // pass-2 merge scratch, one slot per bank
+	parked  []p2cursor // pass-2 banks behind a memoized canACT wall
+	// Pass-2 per-invocation canACT memo: a failed activation with
+	// need=tRRD_S fails for every bank of the rank (the S constraint,
+	// tFAW, and refresh occupancy are rank-wide); a failed one with
+	// need=tRRD_L fails for every same-group bank. Valid only while no
+	// HiRA sequence is active (sequence blocking is timing-specific).
+	p2FailAll, p2FailL []bool
+}
+
+// p2cursor walks one bank's FIFO during the pass-2 arrival-order merge.
+type p2cursor struct {
+	node *reqNode
+	flat int
+	left int // requests remaining in the bank's FIFO, including node
 }
 
 type bankSt struct {
@@ -170,6 +325,10 @@ type bankSt struct {
 	// time (used to close rows after standalone refreshes).
 	pendingPRE   bool
 	pendingPREAt dram.Time
+	// bq holds the bank's read and write FIFO buckets, co-located with
+	// the timing state so the scheduler's scan stays on one cache line
+	// pair per bank.
+	bq [2]bankQ
 }
 
 type rankSt struct {
@@ -182,16 +341,18 @@ type rankSt struct {
 }
 
 // sequence is a short pre-timed command burst (a HiRA operation). One may
-// be active per channel at a time.
+// be active per channel at a time; the channel owns a single reusable
+// instance so starting a sequence never allocates.
 type sequence struct {
-	cmds   []seqCmd
-	rank   int
+	cmds   [3]seqCmd
+	n      int
 	next   int
+	rank   int
+	flat   int  // flat channel index of the target bank
 	access bool // second ACT serves a demand access
-	// onSecondACT runs when the HiRASecondACT issues (wires up demand
-	// request service).
-	onSecondACT func(at dram.Time)
-	done        func(at dram.Time)
+	// plannedSecond is the scheduled HiRASecondACT time; the closing
+	// precharge of a refresh-refresh pair is timed from it.
+	plannedSecond dram.Time
 }
 
 type seqCmd struct {
@@ -216,18 +377,35 @@ func NewController(cfg Config, engine RefreshEngine) (*Controller, error) {
 	if engine == nil {
 		engine = NoRefresh{}
 	}
-	c := &Controller{cfg: cfg, engine: engine}
+	c := &Controller{
+		cfg:       cfg,
+		engine:    engine,
+		reference: cfg.Reference,
+		bpr:       cfg.Org.BanksPerRank(),
+	}
+	c.rankOf = make([]int, cfg.Org.BanksPerChannel())
+	for i := range c.rankOf {
+		c.rankOf[i] = i / c.bpr
+	}
 	for ch := 0; ch < cfg.Org.Channels; ch++ {
-		cc := &channel{id: ch}
 		nb := cfg.Org.BanksPerChannel()
-		cc.banks = make([]*bankSt, nb)
-		for i := range cc.banks {
-			cc.banks[i] = &bankSt{readyACT: 0, readyPRE: 0, readyCol: 0}
-		}
-		cc.ranks = make([]*rankSt, cfg.Org.RanksPerChannel)
+		cc := &channel{id: ch}
+		cc.banks = make([]bankSt, nb)
+		cc.ranks = make([]rankSt, cfg.Org.RanksPerChannel)
 		for i := range cc.ranks {
-			cc.ranks[i] = &rankSt{lastACT: -dram.MaxTime()}
+			cc.ranks[i] = rankSt{lastACT: -dram.MaxTime()}
 		}
+		for k := range cc.q {
+			cc.q[k].active = make([]int, 0, nb)
+			cc.q[k].pos = make([]int, nb)
+			for i := range cc.q[k].pos {
+				cc.q[k].pos[i] = -1
+			}
+		}
+		cc.cursors = make([]p2cursor, 0, nb)
+		cc.parked = make([]p2cursor, 0, nb)
+		cc.p2FailAll = make([]bool, cfg.Org.RanksPerChannel)
+		cc.p2FailL = make([]bool, cfg.Org.RanksPerChannel)
 		c.chans = append(c.chans, cc)
 	}
 	return c, nil
@@ -243,32 +421,174 @@ func (c *Controller) Config() Config { return c.cfg }
 // channels.
 func (c *Controller) QueueOccupancy() (reads, writes int) {
 	for _, ch := range c.chans {
-		reads += len(ch.readQ)
-		writes += len(ch.writeQ)
+		reads += ch.q[qRead].count
+		writes += ch.q[qWrite].count
 	}
 	return
 }
+
+func (c *Controller) newNode(req Request) *reqNode {
+	n := c.free
+	if n == nil {
+		n = &reqNode{}
+	} else {
+		c.free = n.bnext
+		*n = reqNode{}
+	}
+	n.req = req
+	n.seq = c.arrival
+	c.arrival++
+	return n
+}
+
+func (c *Controller) freeNode(n *reqNode) {
+	*n = reqNode{bnext: c.free}
+	c.free = n
+}
+
+// flat returns the channel-flat index of a bank.
+func (c *Controller) flat(rank, bank int) int { return rank*c.bpr + bank }
 
 // Enqueue accepts a request, returning false if the relevant queue is
 // full. Writes are acknowledged immediately (write-buffer semantics).
 func (c *Controller) Enqueue(req Request) bool {
 	ch := c.chans[req.Loc.Channel]
 	req.Arrive = c.now
+	k, capN := qRead, c.cfg.ReadQueueCap
 	if req.Write {
-		if len(ch.writeQ) >= c.cfg.WriteQueueCap {
-			return false
-		}
-		r := req
-		ch.writeQ = append(ch.writeQ, &r)
-		c.Stats.Writes++
-		return true
+		k, capN = qWrite, c.cfg.WriteQueueCap
 	}
-	if len(ch.readQ) >= c.cfg.ReadQueueCap {
+	q := &ch.q[k]
+	if q.count >= capN {
 		return false
 	}
-	r := req
-	ch.readQ = append(ch.readQ, &r)
+	if req.Write {
+		c.Stats.Writes++
+	}
+	flat := c.flat(req.Loc.Rank, req.Loc.Bank)
+	n := c.newNode(req)
+	c.pushNode(ch, k, n, flat)
+	bank := &ch.banks[flat]
+	if bank.open && bank.row == req.Loc.Row {
+		bank.bq[k].hits++
+	}
+	if !c.reference {
+		c.noteEnqueue(ch, k, flat, req.Loc.Row)
+	}
 	return true
+}
+
+// noteEnqueue decides whether a newly queued request must wake an idle
+// channel. Most arrivals park behind a busy bank or in the queue not
+// being served and cannot issue, count toward a blocked-counter, or be
+// touched by the scheduler at all until a time the sleep already tracks —
+// those keep the skip window open (possibly shortened to the bank's ready
+// time). Anything that could act now, or that moves the write-drain
+// hysteresis, forces a full rescan.
+func (c *Controller) noteEnqueue(ch *channel, k, flat, row int) {
+	if ch.idleUntil <= c.now {
+		return // a full tick is due anyway
+	}
+	readN, writeN := ch.q[qRead].count, ch.q[qWrite].count
+	// Arrivals that can flip the hysteresis or the served-queue choice.
+	if k == qWrite {
+		if writeN >= c.cfg.WriteHigh || readN == 0 {
+			ch.idleUntil = 0
+			return
+		}
+	} else if readN == 1 {
+		ch.idleUntil = 0 // the read queue was empty: selection changes
+		return
+	}
+	if (k == qWrite) != ch.draining {
+		return // parked in the queue not being served
+	}
+	bank := &ch.banks[flat]
+	if bank.reserved {
+		return // release is sequence/pending-PRE driven, already tracked
+	}
+	wake := func(ready dram.Time, busy dram.Time) bool {
+		if c.now >= ready && c.now >= busy {
+			return true
+		}
+		if ready > c.now && ready < ch.idleUntil {
+			ch.idleUntil = ready
+		}
+		if busy > c.now && busy < ch.idleUntil {
+			ch.idleUntil = busy
+		}
+		return false
+	}
+	rk := &ch.ranks[c.rankOf[flat]]
+	if !bank.open {
+		// The request joins pass 2: an ACT attempt happens (and is
+		// counted) as soon as the bank is ready.
+		if c.now >= bank.readyACT {
+			ch.idleUntil = 0
+		} else if bank.readyACT < ch.idleUntil {
+			ch.idleUntil = bank.readyACT
+		}
+		return
+	}
+	if bank.row == row {
+		// Row hit: issuable once the column path, rank, and data bus
+		// allow; a bus-blocked attempt has no effect, so sleep to the
+		// bus-ready point.
+		if wake(bank.readyCol, rk.refBusy) {
+			lat := c.cfg.Timing.CL
+			if k == qWrite {
+				lat = c.cfg.Timing.CWL
+			}
+			if ch.dataBusFree <= c.now+lat {
+				ch.idleUntil = 0
+			} else if t := ch.dataBusFree - lat; t < ch.idleUntil {
+				ch.idleUntil = t
+			}
+		}
+		return
+	}
+	// Row conflict: a precharge becomes possible only while no queued
+	// request hits the open row.
+	if bank.bq[k].hits == 0 {
+		if wake(bank.readyPRE, rk.refBusy) {
+			ch.idleUntil = 0
+		}
+	}
+}
+
+// removeNode dequeues a request after it has been serviced.
+func (c *Controller) removeNode(ch *channel, k int, n *reqNode) {
+	flat := c.flat(n.req.Loc.Rank, n.req.Loc.Bank)
+	bank := &ch.banks[flat]
+	if bank.open && bank.row == n.req.Loc.Row {
+		bank.bq[k].hits--
+	}
+	c.unlinkNode(ch, k, n, flat)
+	c.freeNode(n)
+}
+
+// openRow records that flat's row opened and recounts per-queue row hits.
+func (c *Controller) openRow(ch *channel, flat, row int) {
+	bank := &ch.banks[flat]
+	bank.open = true
+	bank.row = row
+	for k := range bank.bq {
+		h := 0
+		for n := bank.bq[k].head; n != nil; n = n.bnext {
+			if n.req.Loc.Row == row {
+				h++
+			}
+		}
+		bank.bq[k].hits = h
+	}
+}
+
+// closeRow records that flat's row closed.
+func (c *Controller) closeRow(ch *channel, flat int) {
+	bank := &ch.banks[flat]
+	bank.open = false
+	bank.bq[qRead].hits = 0
+	bank.bq[qWrite].hits = 0
 }
 
 func (c *Controller) emit(ch *channel, cmd dram.Command) {
@@ -287,16 +607,109 @@ func (c *Controller) busFree(ch *channel) bool {
 }
 
 // Tick advances the controller by one command clock.
+//
+// The hot path is event-driven: as a tick's scheduling scans fail their
+// time guards they record the threshold times (noteEvt); if the tick
+// issues no command, the earliest recorded threshold — or the engine's
+// next mandatory refresh, or a new request arriving — is the next time
+// anything can change, so until then subsequent ticks only replay that
+// tick's blocked-counter deltas. Reference mode always runs the full
+// scan.
 func (c *Controller) Tick() {
 	c.engine.Tick(c.now)
+	engineNext := dram.Time(-1) // lazily computed, at most once per tick
 	for _, ch := range c.chans {
+		if !c.reference && c.now < ch.idleUntil {
+			c.Stats.SeqBlocked += ch.idleSeqBlocked
+			c.Stats.CanACTBlocked += ch.idleCanACT
+			continue
+		}
+		seq0, can0 := c.Stats.SeqBlocked, c.Stats.CanACTBlocked
+		c.evt = dram.MaxTime()
 		c.tickChannel(ch)
+		if c.reference {
+			continue
+		}
+		if ch.hasCmd && ch.lastCmd == c.now {
+			ch.idleUntil = 0 // issued a command: state changed, rescan next tick
+			continue
+		}
+		if ch.seq != nil {
+			// An active HiRA sequence lasts a handful of ticks but makes
+			// demand attempts time-sensitive in ways the recorded
+			// thresholds don't capture (the tRRD race against its
+			// pre-timed ACTs flips between blocking reasons as the gap
+			// shrinks): run every tick until it completes.
+			ch.idleUntil = 0
+			continue
+		}
+		if c.drainWillFlip(ch) {
+			// The write-drain hysteresis flips state on the next
+			// evaluation even with frozen queues (at the low watermark
+			// with an empty read queue it oscillates every tick), so its
+			// phase must advance tick by tick, exactly as the
+			// reference's per-tick evaluation does.
+			ch.idleUntil = 0
+			continue
+		}
+		if engineNext < 0 {
+			engineNext = c.engine.NextEvent(c.now)
+		}
+		until := c.evt
+		if engineNext > c.now && engineNext < until {
+			until = engineNext
+		}
+		ch.idleUntil = until
+		ch.idleSeqBlocked = c.Stats.SeqBlocked - seq0
+		ch.idleCanACT = c.Stats.CanACTBlocked - can0
 	}
 	c.now += c.cfg.Timing.TCK
 }
 
+// noteEvt records a future time at which a failed scheduling guard could
+// flip, bounding how far the current channel's tick may be skipped.
+func (c *Controller) noteEvt(t dram.Time) {
+	if t > c.now && t < c.evt {
+		c.evt = t
+	}
+}
+
+// IdleUntil reports the earliest time any channel needs a full tick, or 0
+// if some channel must run the full scheduler on the next tick. Callers
+// that also know their request sources are quiescent may advance the
+// controller to that point with SkipTicks.
+func (c *Controller) IdleUntil() dram.Time {
+	if c.reference {
+		return 0
+	}
+	min := dram.MaxTime()
+	for _, ch := range c.chans {
+		if ch.idleUntil <= c.now {
+			return 0
+		}
+		if ch.idleUntil < min {
+			min = ch.idleUntil
+		}
+	}
+	return min
+}
+
+// SkipTicks advances the clock n ticks through a window IdleUntil proved
+// idle, replaying each channel's per-tick blocked counters. Queues, bank
+// state, and the refresh engine are untouched; the engine's generation
+// catch-up happens on the next full tick and is deadline-driven, so the
+// resulting refresh schedule is identical to ticking through the window.
+func (c *Controller) SkipTicks(n int) {
+	for _, ch := range c.chans {
+		c.Stats.SeqBlocked += uint64(n) * ch.idleSeqBlocked
+		c.Stats.CanACTBlocked += uint64(n) * ch.idleCanACT
+	}
+	c.now += dram.Time(n) * c.cfg.Timing.TCK
+}
+
 func (c *Controller) tickChannel(ch *channel) {
 	if !c.busFree(ch) {
+		c.noteEvt(ch.lastCmd + c.cfg.Timing.TCK)
 		return
 	}
 	// 1. Active HiRA sequence commands are pre-timed: issue when due.
@@ -323,16 +736,21 @@ func (c *Controller) tickChannel(ch *channel) {
 		}
 	}
 	// 5. Demand scheduling (FR-FCFS).
-	c.scheduleDemand(ch)
+	if c.reference {
+		c.scheduleDemandRef(ch)
+	} else {
+		c.scheduleDemand(ch)
+	}
 }
 
 func (c *Controller) issueSeq(ch *channel) bool {
 	s := ch.seq
-	cmd := s.cmds[s.next]
+	cmd := &s.cmds[s.next]
 	if c.now < cmd.due {
+		c.noteEvt(cmd.due)
 		return false
 	}
-	bank := c.bank(ch, cmd.rank, cmd.bank)
+	bank := &ch.banks[s.flat]
 	c.emit(ch, dram.Command{
 		Kind:  cmd.kind,
 		Loc:   dram.Location{BankID: dram.BankID{Rank: cmd.rank, Bank: cmd.bank}, Row: cmd.row},
@@ -342,14 +760,23 @@ func (c *Controller) issueSeq(ch *channel) bool {
 	case dram.KindACT:
 		c.Stats.ACTs++
 		c.noteACT(ch, cmd.rank, cmd.bank)
-		bank.open = true
-		bank.row = cmd.row
+		c.openRow(ch, s.flat, cmd.row)
 		bank.actAt = c.now
 		bank.readyCol = c.now + c.cfg.Timing.TRCD
 		bank.readyPRE = c.now + c.cfg.Timing.TRAS
 		bank.readyACT = c.now + c.cfg.Timing.TRC
-		if cmd.phase == dram.HiRASecondACT && s.onSecondACT != nil {
-			s.onSecondACT(c.now)
+		if cmd.phase == dram.HiRASecondACT {
+			if s.access {
+				// The demand row becomes schedulable once the second
+				// ACT issues.
+				bank.reserved = false
+			} else {
+				// Refresh-refresh pair: one closing precharge tRAS
+				// after the scheduled second ACT covers both rows.
+				bank.pendingPRE = true
+				bank.pendingPREAt = s.plannedSecond + c.cfg.Timing.TRAS
+				ch.pendingPREs++
+			}
 		}
 		c.engine.NoteActivate(dram.Location{
 			BankID: dram.BankID{Channel: ch.id, Rank: cmd.rank, Bank: cmd.bank},
@@ -357,35 +784,41 @@ func (c *Controller) issueSeq(ch *channel) bool {
 		}, cmd.phase == dram.HiRASecondACT && s.access, c.now)
 	case dram.KindPRE:
 		c.Stats.PREs++
+		c.closeRow(ch, s.flat)
 		if cmd.phase != dram.HiRAInterruptPRE {
-			bank.open = false
 			bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
-		} else {
-			bank.open = false // reopened by the second ACT
 		}
+		// HiRAInterruptPRE: the bank is reopened by the second ACT.
 	}
 	s.next++
-	if s.next == len(s.cmds) {
-		if s.done != nil {
-			s.done(c.now)
-		}
+	if s.next == s.n {
 		ch.seq = nil
 	}
 	return true
 }
 
 func (c *Controller) issuePendingPRE(ch *channel) bool {
-	for rb, bank := range ch.banks {
-		if !bank.pendingPRE || c.now < bank.pendingPREAt || c.now < bank.readyPRE {
+	if ch.pendingPREs == 0 {
+		return false
+	}
+	for rb := range ch.banks {
+		bank := &ch.banks[rb]
+		if !bank.pendingPRE {
 			continue
 		}
-		rank := rb / c.cfg.Org.BanksPerRank()
-		b := rb % c.cfg.Org.BanksPerRank()
+		if c.now < bank.pendingPREAt || c.now < bank.readyPRE {
+			c.noteEvt(bank.pendingPREAt)
+			c.noteEvt(bank.readyPRE)
+			continue
+		}
+		rank := rb / c.bpr
+		b := rb % c.bpr
 		c.emit(ch, dram.Command{Kind: dram.KindPRE,
 			Loc: dram.Location{BankID: dram.BankID{Rank: rank, Bank: b}}})
 		c.Stats.PREs++
-		bank.open = false
+		c.closeRow(ch, rb)
 		bank.pendingPRE = false
+		ch.pendingPREs--
 		bank.reserved = false
 		bank.readyACT = maxTime(bank.readyACT, c.now+c.cfg.Timing.TRP)
 		return true
@@ -393,12 +826,8 @@ func (c *Controller) issuePendingPRE(ch *channel) bool {
 	return false
 }
 
-func (c *Controller) bank(ch *channel, rank, bank int) *bankSt {
-	return ch.banks[rank*c.cfg.Org.BanksPerRank()+bank]
-}
-
 func (c *Controller) noteACT(ch *channel, rank, bank int) {
-	rk := ch.ranks[rank]
+	rk := &ch.ranks[rank]
 	rk.lastACT = c.now
 	rk.lastACTGroup = bank / c.cfg.Org.BanksPerGroup
 	cut := c.now - c.cfg.Timing.TFAW
@@ -414,8 +843,9 @@ func (c *Controller) noteACT(ch *channel, rank, bank int) {
 // canACT checks rank-level ACT constraints (tRRD_S/tRRD_L, tFAW headroom
 // for n more ACTs within the next span) and refresh occupancy.
 func (c *Controller) canACT(ch *channel, rank, bank int, n int, span dram.Time) bool {
-	rk := ch.ranks[rank]
+	rk := &ch.ranks[rank]
 	if c.now < rk.refBusy || rk.refDrain {
+		c.noteEvt(rk.refBusy) // refDrain clears at the REF, a command tick
 		return false
 	}
 	need := c.cfg.Timing.TRRD
@@ -423,6 +853,7 @@ func (c *Controller) canACT(ch *channel, rank, bank int, n int, span dram.Time) 
 		need = c.cfg.Timing.TRRDL
 	}
 	if c.now-rk.lastACT < need {
+		c.noteEvt(rk.lastACT + need)
 		return false
 	}
 	// tFAW: every activation — past, planned now, or pre-timed in an
@@ -430,12 +861,10 @@ func (c *Controller) canACT(ch *channel, rank, bank int, n int, span dram.Time) 
 	// window ending at its own issue time. Build the combined timeline
 	// (a handful of entries) and check every window that the planned
 	// ACTs join.
-	times := make([]dram.Time, 0, 8)
-	for _, t := range rk.actTimes {
-		times = append(times, t)
-	}
+	times := c.actScratch[:0]
+	times = append(times, rk.actTimes...)
 	if s := ch.seq; s != nil && s.rank == rank {
-		for _, sc := range s.cmds[s.next:] {
+		for _, sc := range s.cmds[s.next:s.n] {
 			if sc.kind == dram.KindACT {
 				times = append(times, sc.due)
 			}
@@ -445,6 +874,7 @@ func (c *Controller) canACT(ch *channel, rank, bank int, n int, span dram.Time) 
 	if n > 1 {
 		times = append(times, c.now+span)
 	}
+	c.actScratch = times[:0]
 	for _, end := range times {
 		if end < c.now-c.cfg.Timing.TFAW {
 			continue
@@ -456,6 +886,17 @@ func (c *Controller) canACT(ch *channel, rank, bank int, n int, span dram.Time) 
 			}
 		}
 		if count > 4 {
+			// The violating window relaxes when an existing ACT ages out
+			// of it: the window ending at the planned ACT (now) loses
+			// activation `at` once now > at+tFAW, and the window ending
+			// at the planned second ACT (now+span) loses it span
+			// earlier.
+			for _, at := range rk.actTimes {
+				c.noteEvt(at + c.cfg.Timing.TFAW)
+				if n > 1 {
+					c.noteEvt(at + c.cfg.Timing.TFAW - span)
+				}
+			}
 			return false
 		}
 	}
@@ -468,5 +909,3 @@ func maxTime(a, b dram.Time) dram.Time {
 	}
 	return b
 }
-
-var errQueueFull = fmt.Errorf("sched: queue full")

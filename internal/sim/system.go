@@ -24,6 +24,11 @@ import (
 // (1.2 GHz, tCK = 0.833 ns): cycles per memory tick.
 const cpuCyclesPerTick = 3.2e9 * 0.833e-9
 
+// maxSlotsPerTick bounds the per-tick instruction budget a core can
+// receive: the integer part of the per-tick accrual plus the carried
+// fraction.
+var maxSlotsPerTick = int(math.Floor(4*cpuCyclesPerTick)) + 1
+
 // LLCHitLatencyCycles approximates the shared-cache hit latency in CPU
 // cycles (charged as a retirement delay through the completion path).
 const llcHitLatencyCycles = 40
@@ -125,6 +130,38 @@ type Result struct {
 	Ticks           int
 }
 
+// wbRing buffers writebacks that found the write queue full, FIFO. It is
+// a growable ring, so steady-state push/pop never allocates (the seed's
+// wbQueue[1:] re-slice leaked its backing array's head and reallocated on
+// every refill cycle).
+type wbRing struct {
+	buf  []sched.Request
+	head int
+	n    int
+}
+
+func (r *wbRing) push(req sched.Request) {
+	if r.n == len(r.buf) {
+		grown := make([]sched.Request, 2*r.n+8)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = req
+	r.n++
+}
+
+func (r *wbRing) front() *sched.Request { return &r.buf[r.head] }
+
+func (r *wbRing) pop() {
+	r.buf[r.head] = sched.Request{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
+func (r *wbRing) len() int { return r.n }
+
 // System is a fully wired simulated machine.
 type System struct {
 	cfg    Config
@@ -136,11 +173,16 @@ type System struct {
 	mapper *dram.MOPMapper
 	cores  []*cpu.Core
 
-	// pending completions for LLC hits: token -> completion tick.
-	instrBudget []float64
+	// instrBudget carries the fractional per-tick instruction budget.
+	// Every core accrues identically (4 issue slots per CPU cycle), so a
+	// single accumulator serves them all.
+	instrBudget float64
 	retiredAt   []uint64 // retirement snapshot after warmup
-	ticksRun    int
-	wbQueue     []sched.Request
+	// blocked caches cores whose instruction window is full: their tick
+	// reduces to stall accounting until a completion clears the flag.
+	blocked  []bool
+	ticksRun int
+	wb       wbRing
 }
 
 // coreMemory adapts the system as each core's cpu.Memory.
@@ -212,15 +254,15 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 	}
 
 	s := &System{
-		cfg:         cfg,
-		org:         org,
-		timing:      timing,
-		ctrl:        ctrl,
-		engine:      engine,
-		llc:         cache.MustNew(8<<20, 8, 64),
-		mapper:      dram.NewMOPMapper(org),
-		instrBudget: make([]float64, cfg.Cores),
-		retiredAt:   make([]uint64, cfg.Cores),
+		cfg:       cfg,
+		org:       org,
+		timing:    timing,
+		ctrl:      ctrl,
+		engine:    engine,
+		llc:       cache.MustNew(8<<20, 8, 64),
+		mapper:    dram.NewMOPMapper(org),
+		retiredAt: make([]uint64, cfg.Cores),
+		blocked:   make([]bool, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		gen := workload.NewGenerator(mix.Profiles[i], aloneSeed(cfg.Seed, i))
@@ -228,9 +270,16 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 		s.cores = append(s.cores, c)
 	}
 	ctrl.OnComplete = func(coreID int, token uint64, at dram.Time) {
-		s.cores[coreID].Complete(token)
+		s.complete(coreID, token)
 	}
 	return s, nil
+}
+
+// complete delivers a load completion and lets the core's next tick
+// re-evaluate its window state.
+func (s *System) complete(core int, token uint64) {
+	s.cores[core].Complete(token)
+	s.blocked[core] = false
 }
 
 // Controller exposes the memory controller (for inspection).
@@ -245,62 +294,124 @@ func (m *coreMemory) Issue(req cpu.MemRequest) bool {
 			// LLC hit: data arrives after the hit latency; the model
 			// completes it immediately and charges the latency as
 			// already-overlapped (dominant effects are DRAM-side).
-			s.cores[m.core].Complete(req.Token)
+			s.complete(m.core, req.Token)
 		}
 		return true
 	}
 	if res.WB {
 		wb := sched.Request{Loc: s.mapper.Map(res.Writeback), Write: true, Core: m.core}
 		if !s.ctrl.Enqueue(wb) {
-			s.wbQueue = append(s.wbQueue, wb)
+			s.wb.push(wb)
 		}
 	}
 	loc := s.mapper.Map(req.Addr)
-	ok := s.ctrl.Enqueue(sched.Request{Loc: loc, Write: req.Write, Core: m.core, Token: req.Token})
-	if ok && req.Write {
-		return true
-	}
-	if ok && !req.Write {
-		return true
-	}
-	return false
+	return s.ctrl.Enqueue(sched.Request{Loc: loc, Write: req.Write, Core: m.core, Token: req.Token})
 }
 
 // Tick advances the whole system one memory command clock.
 func (s *System) Tick() {
 	// Retry buffered writebacks.
-	for len(s.wbQueue) > 0 {
-		if !s.ctrl.Enqueue(s.wbQueue[0]) {
+	for s.wb.len() > 0 {
+		if !s.ctrl.Enqueue(*s.wb.front()) {
 			break
 		}
-		s.wbQueue = s.wbQueue[1:]
+		s.wb.pop()
 	}
-	for i, c := range s.cores {
-		s.instrBudget[i] += 4 * cpuCyclesPerTick
-		whole := int(s.instrBudget[i])
-		if whole > 0 {
-			c.Tick(float64(whole))
-			s.instrBudget[i] -= float64(whole)
+	s.instrBudget += 4 * cpuCyclesPerTick
+	whole := int(s.instrBudget)
+	if whole > 0 {
+		s.instrBudget -= float64(whole)
+		budget := float64(whole)
+		for i, c := range s.cores {
+			if s.blocked[i] {
+				// A full window only stalls until a completion clears
+				// the flag; this is exactly what Tick would do.
+				c.StallCycles += budget
+				continue
+			}
+			c.Tick(budget)
+			s.blocked[i] = c.Blocked()
 		}
 	}
 	s.ctrl.Tick()
 	s.ticksRun++
 }
 
+// idleTicks returns how many upcoming ticks are provably inert, capped at
+// max: the controller has no event before its cached horizon, and every
+// core is window-blocked or deep enough in a non-memory gap that it
+// cannot issue a request within the window. Buffered writebacks imply a
+// full write queue, which cannot drain while no command issues, so they
+// do not shorten the window.
+func (s *System) idleTicks(max int) int {
+	until := s.ctrl.IdleUntil()
+	now := s.ctrl.Now()
+	if until <= now {
+		return 0
+	}
+	k := max
+	if until < dram.MaxTime() {
+		tck := s.timing.TCK
+		if w := int((until - now + tck - 1) / tck); w < k {
+			k = w
+		}
+	}
+	for _, c := range s.cores {
+		if h := c.IdleTicks(maxSlotsPerTick); h < k {
+			k = h
+		}
+		if k <= 0 {
+			return 0
+		}
+	}
+	return k
+}
+
+// fastForward replays k inert ticks: per-core instruction budgets accrue
+// and are consumed exactly as Tick would (stall accounting included), and
+// the controller's clock and per-tick counters advance without running
+// the scheduler. The result is bit-identical to calling Tick k times.
+func (s *System) fastForward(k int) {
+	b := s.instrBudget
+	for j := 0; j < k; j++ {
+		b += 4 * cpuCyclesPerTick
+		if whole := int(b); whole > 0 {
+			b -= float64(whole)
+			for _, c := range s.cores {
+				c.Skip(whole)
+			}
+		}
+	}
+	s.instrBudget = b
+	s.ctrl.SkipTicks(k)
+	s.ticksRun += k
+}
+
+// runTicks advances n ticks, fast-forwarding through idle windows.
+func (s *System) runTicks(n int) {
+	for done := 0; done < n; {
+		s.Tick()
+		done++
+		if done >= n {
+			return
+		}
+		if k := s.idleTicks(n - done); k > 0 {
+			s.fastForward(k)
+			done += k
+		}
+	}
+}
+
 // Run executes warmup then measure ticks and returns the measured-phase
 // result. IPCAlone (same order as cores) feeds the weighted speedup; pass
 // nil to skip it.
 func (s *System) Run(warmup, measure int, ipcAlone []float64) Result {
-	for i := 0; i < warmup; i++ {
-		s.Tick()
-	}
+	s.runTicks(warmup)
 	for i := range s.cores {
 		s.retiredAt[i] = s.cores[i].Retired
 	}
 	s.ctrl.Stats = sched.Stats{}
-	for i := 0; i < measure; i++ {
-		s.Tick()
-	}
+	s.runTicks(measure)
 	res := Result{Ticks: measure, Sched: s.ctrl.Stats, LLCHitRate: s.llc.HitRate()}
 	cycles := float64(measure) * cpuCyclesPerTick
 	for i, c := range s.cores {
