@@ -9,6 +9,7 @@
 package hira_test
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -106,7 +107,7 @@ func BenchmarkFig9Periodic(b *testing.B) {
 	var rows []hira.Fig9Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = hira.Fig9(quickSim(), []int{8, 128})
+		rows, err = hira.Fig9(context.Background(), quickSim(), []int{8, 128})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +142,7 @@ func BenchmarkEngineFig9Parallel(b *testing.B) {
 		serial := quickSim()
 		serial.Parallelism = 1
 		start := time.Now()
-		_, engineFig9Serial.err = hira.Fig9(serial, caps)
+		_, engineFig9Serial.err = hira.Fig9(context.Background(), serial, caps)
 		engineFig9Serial.dur = time.Since(start)
 	})
 	if engineFig9Serial.err != nil {
@@ -151,7 +152,7 @@ func BenchmarkEngineFig9Parallel(b *testing.B) {
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := hira.Fig9(par, caps); err != nil {
+		if _, err := hira.Fig9(context.Background(), par, caps); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -182,7 +183,7 @@ func BenchmarkFig12PARA(b *testing.B) {
 	var rows []hira.Fig12Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = hira.Fig12(quickSim(), []int{64})
+		rows, err = hira.Fig12(context.Background(), quickSim(), []int{64})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,7 +197,7 @@ func BenchmarkFig13Channels(b *testing.B) {
 	var rows []hira.ScaleRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = hira.Fig13(quickSim(), []int{1, 4}, []int{32})
+		rows, err = hira.Fig13(context.Background(), quickSim(), []int{1, 4}, []int{32})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +210,7 @@ func BenchmarkFig14Ranks(b *testing.B) {
 	var rows []hira.ScaleRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = hira.Fig14(quickSim(), []int{1, 2}, []int{32})
+		rows, err = hira.Fig14(context.Background(), quickSim(), []int{1, 2}, []int{32})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -223,7 +224,7 @@ func BenchmarkFig15ParaChannels(b *testing.B) {
 	var rows []hira.ScaleRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = hira.Fig15(quickSim(), []int{1, 4}, []int{256})
+		rows, err = hira.Fig15(context.Background(), quickSim(), []int{1, 4}, []int{256})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,7 +238,7 @@ func BenchmarkFig16ParaRanks(b *testing.B) {
 	var rows []hira.ScaleRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = hira.Fig16(quickSim(), []int{1, 2}, []int{256})
+		rows, err = hira.Fig16(context.Background(), quickSim(), []int{1, 2}, []int{256})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -257,7 +258,7 @@ func BenchmarkAblationRefSlack(b *testing.B) {
 	var scores []hira.PolicyScore
 	var err error
 	for i := 0; i < b.N; i++ {
-		scores, err = hira.RunPolicies(base, policies, quickSim())
+		scores, err = hira.RunPolicies(context.Background(), base, policies, quickSim())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -274,7 +275,7 @@ func BenchmarkAblationCoverage(b *testing.B) {
 		base := hira.DefaultSystemConfig()
 		base.ChipCapacityGbit = 64
 		base.SPTCoverage = cov
-		scores, err := hira.RunPolicies(base,
+		scores, err := hira.RunPolicies(context.Background(), base,
 			[]hira.RefreshPolicy{hira.HiRAPeriodicPolicy(4)}, quickSim())
 		if err != nil {
 			b.Fatal(err)

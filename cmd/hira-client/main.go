@@ -1,0 +1,144 @@
+// Command hira-client submits one experiment job to a hira-server,
+// streams its progress, and prints the result JSON in the same encoding
+// `hira-sim -json` emits for the same figure, so the two diff cleanly
+// (row data always matches; the engine_stats block reflects how each
+// run's cells were resolved).
+//
+// Examples:
+//
+//	hira-client -server http://localhost:8080 -exp fig9
+//	hira-client -exp fig12 -nrhs 64,256 -workloads 8 -ticks 240000
+//	hira-client -exp area
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"hira/internal/service"
+)
+
+var (
+	server            = flag.String("server", "http://localhost:8080", "hira-server base URL")
+	exp               = flag.String("exp", "fig9", "job kind: fig9|fig12|fig13|fig14|fig15|fig16|characterize|security|area")
+	workloads         = flag.Int("workloads", 0, "mixes per sweep point (0 = server default)")
+	ticks             = flag.Int("ticks", 0, "measured ticks per run (0 = server default)")
+	warmup            = flag.Int("warmup", 0, "warmup ticks per run (0 = server default)")
+	seed              = flag.Uint64("seed", 0, "workload seed (0 = server default)")
+	caps              = flag.String("capacities", "", "comma-separated chip capacities in Gbit (fig9/13/14)")
+	nrhs              = flag.String("nrhs", "", "comma-separated RowHammer thresholds (fig12/15/16)")
+	xs                = flag.String("xs", "", "comma-separated channel/rank axis (fig13-16)")
+	progress          = flag.Bool("progress", false, "print cell progress to stderr")
+	cancelOnInterrupt = flag.Bool("cancel-on-interrupt", true, "Ctrl-C cancels the submitted job server-side")
+)
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad grid value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	flag.Parse()
+	os.Exit(run())
+}
+
+func run() int {
+	spec := service.JobSpec{Kind: *exp}
+	if *workloads != 0 || *ticks != 0 || *warmup != 0 || *seed != 0 {
+		spec.Sim = &service.SimSpec{Workloads: *workloads, Measure: *ticks, Warmup: *warmup, Seed: *seed}
+	}
+	var err error
+	if spec.Capacities, err = parseInts(*caps); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if spec.NRHs, err = parseInts(*nrhs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if spec.Xs, err = parseInts(*xs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	c := service.NewClient(*server)
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	id := job.ID
+	fmt.Fprintf(os.Stderr, "job %s %s\n", id, job.State)
+
+	var onProgress func(done, total int)
+	if *progress {
+		onProgress = func(done, total int) { fmt.Fprintf(os.Stderr, "\rcells %d/%d", done, total) }
+	}
+	job, err = c.Wait(ctx, id, onProgress)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		if ctx.Err() != nil && *cancelOnInterrupt {
+			// Best-effort server-side cancel so the sweep stops
+			// simulating. Release the signal handler first (a second
+			// Ctrl-C then kills us) and bound the call, in case the
+			// interrupt was prompted by a hung server.
+			stop()
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if cerr := c.Cancel(cctx, id); cerr != nil {
+				fmt.Fprintf(os.Stderr, "interrupted; cancel of job %s failed: %v\n", id, cerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "interrupted; cancelled job %s\n", id)
+			}
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	switch job.State {
+	case service.StateDone:
+		// Re-indent to the exact bytes `hira-sim -json` prints, so the
+		// two outputs diff cleanly.
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, job.Result, "", "  "); err != nil {
+			buf.Write(job.Result)
+		}
+		fmt.Println(buf.String())
+		if job.Stats != nil {
+			fmt.Fprintf(os.Stderr, "engine: %d cells (%d simulated, %d cache hits, %d store hits, %d deduped)\n",
+				job.Stats.Submitted, job.Stats.Simulated, job.Stats.CacheHits,
+				job.Stats.StoreHits, job.Stats.Deduped)
+		}
+		return 0
+	case service.StateCancelled:
+		fmt.Fprintf(os.Stderr, "job %s cancelled\n", job.ID)
+		return 1
+	default:
+		fmt.Fprintf(os.Stderr, "job %s failed: %s\n", job.ID, job.Error)
+		return 1
+	}
+}

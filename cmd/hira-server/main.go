@@ -1,0 +1,82 @@
+// Command hira-server serves the paper's experiments as an HTTP job
+// service. Clients POST job specs — figure sweeps with arbitrary
+// capacity/NRH/channel grids, direct policy evaluations,
+// characterization, security-analysis, and area-model runs — and the
+// server executes them on a bounded scheduler over one shared experiment
+// engine, so concurrent clients asking overlapping questions share
+// simulations instead of repeating them. Pair with -results to make the
+// cell store durable across restarts.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job spec, returns the queued job
+//	GET    /v1/jobs             list jobs (results elided)
+//	GET    /v1/jobs/{id}        job status; result once done
+//	GET    /v1/jobs/{id}/stream server-sent events: progress + final state
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/stats            shared-engine tallies and job counts
+//	GET    /v1/healthz          liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"hira/internal/service"
+	"hira/internal/sim"
+)
+
+var (
+	addr     = flag.String("addr", ":8080", "listen address")
+	results  = flag.String("results", "", "content-addressed cell store directory (durable across restarts)")
+	parallel = flag.Int("parallel", 0, "max concurrent cell simulations across all jobs (0 = one per CPU core)")
+	workers  = flag.Int("workers", 2, "max concurrently executing jobs")
+	queue    = flag.Int("queue", 64, "max queued jobs before submissions get 503")
+)
+
+func main() {
+	flag.Parse()
+	os.Exit(run())
+}
+
+func run() int {
+	svc := service.New(service.Config{
+		Engine:     sim.EngineConfig{Parallelism: *parallel, ResultDir: *results},
+		Workers:    *workers,
+		QueueDepth: *queue,
+	})
+	defer svc.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hira-server listening on %s (workers=%d, parallel=%d, store=%q)\n",
+		*addr, *workers, svc.Engine().Parallelism(), *results)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "shutting down")
+		// Finalize jobs first: running jobs cancel and every open SSE
+		// stream receives its terminal event and returns, so Shutdown's
+		// wait for active connections completes promptly instead of
+		// timing out against handlers pinned to still-running jobs.
+		svc.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}
+	return 0
+}

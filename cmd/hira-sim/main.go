@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -30,6 +33,7 @@ var (
 	parallel   = flag.Int("parallel", 0, "engine worker pool size (0 = one per CPU core)")
 	results    = flag.String("results", "", "directory for per-cell JSON results (reused across runs)")
 	progress   = flag.Bool("progress", false, "print per-batch cell progress to stderr")
+	jsonOut    = flag.Bool("json", false, "emit figure rows as JSON (the experiment service's encoding)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 )
@@ -74,8 +78,8 @@ func names(ws map[string]float64) []string {
 	return out
 }
 
-func fig9() error {
-	rows, err := hira.Fig9(opts(), nil)
+func fig9(ctx context.Context) error {
+	rows, err := hira.Fig9(ctx, opts(), nil)
 	if err != nil {
 		return err
 	}
@@ -105,8 +109,8 @@ func fig9() error {
 	return nil
 }
 
-func fig12() error {
-	rows, err := hira.Fig12(opts(), nil)
+func fig12(ctx context.Context) error {
+	rows, err := hira.Fig12(ctx, opts(), nil)
 	if err != nil {
 		return err
 	}
@@ -191,27 +195,49 @@ func run() int {
 			}
 		}()
 	}
+	// Ctrl-C cancels the sweep through the engine's context, stopping
+	// in-flight cells promptly; the result store stays consistent, so a
+	// re-run with the same -results picks up where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *jsonOut {
+		res, err := hira.Figure(ctx, *exp, opts(), nil, nil)
+		endProgressLine()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
 	var err error
 	switch *exp {
 	case "fig9":
-		err = fig9()
+		err = fig9(ctx)
 	case "fig12":
-		err = fig12()
+		err = fig12(ctx)
 	case "fig13":
 		fmt.Println("== Fig. 13: channel sweep, periodic refresh (absolute WS) ==")
-		rows, e := hira.Fig13(opts(), nil, nil)
+		rows, e := hira.Fig13(ctx, opts(), nil, nil)
 		err = scale(rows, "chans", "capGb", e)
 	case "fig14":
 		fmt.Println("== Fig. 14: rank sweep, periodic refresh (absolute WS) ==")
-		rows, e := hira.Fig14(opts(), nil, nil)
+		rows, e := hira.Fig14(ctx, opts(), nil, nil)
 		err = scale(rows, "ranks", "capGb", e)
 	case "fig15":
 		fmt.Println("== Fig. 15: channel sweep, PARA (absolute WS) ==")
-		rows, e := hira.Fig15(opts(), nil, nil)
+		rows, e := hira.Fig15(ctx, opts(), nil, nil)
 		err = scale(rows, "chans", "NRH", e)
 	case "fig16":
 		fmt.Println("== Fig. 16: rank sweep, PARA (absolute WS) ==")
-		rows, e := hira.Fig16(opts(), nil, nil)
+		rows, e := hira.Fig16(ctx, opts(), nil, nil)
 		err = scale(rows, "ranks", "NRH", e)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"hira"
@@ -22,7 +23,7 @@ func main() {
 		hira.HiRAPeriodicPolicy(0),
 		hira.HiRAPeriodicPolicy(4),
 	}
-	scores, err := hira.RunPolicies(base, policies, opts)
+	scores, err := hira.RunPolicies(context.Background(), base, policies, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -35,7 +36,7 @@ func main() {
 
 	// Preventive refresh under severe RowHammer vulnerability.
 	nrh := 64
-	scores, err = hira.RunPolicies(hira.DefaultSystemConfig(), []hira.RefreshPolicy{
+	scores, err = hira.RunPolicies(context.Background(), hira.DefaultSystemConfig(), []hira.RefreshPolicy{
 		hira.BaselinePolicy(),
 		hira.PARAPolicy(nrh),
 		hira.PARAHiRAPolicy(nrh, 4),

@@ -147,6 +147,15 @@ type (
 	EngineStats = sim.EngineStats
 	// SimCellResult is the persisted payload of one engine cell.
 	SimCellResult = sim.CellResult
+	// SimEngine is a shared experiment engine: sweeps run through one
+	// SimEngine share the cell cache, the result store, the compute
+	// bound, and in-flight computations across concurrent callers.
+	SimEngine = sim.Engine
+	// SimEngineConfig sizes a shared SimEngine.
+	SimEngineConfig = sim.EngineConfig
+	// FigureResult is the serializable envelope of one figure run — the
+	// encoding shared by `hira-sim -json` and the experiment service.
+	FigureResult = sim.FigureResult
 	// SystemConfig describes one simulated machine.
 	SystemConfig = sim.Config
 	// RefreshPolicy names one refresh configuration under test.
@@ -177,8 +186,15 @@ var (
 	DefaultSystemConfig = sim.DefaultConfig
 )
 
-// Experiment runners.
+// Experiment runners. Each takes a context for cancellation and runs on
+// a fresh single-sweep engine; construct a NewSimEngine to share cells
+// across calls and callers.
 var (
+	// NewSimEngine builds a shared experiment engine.
+	NewSimEngine = sim.NewEngine
+	// Figure dispatches one named figure sweep ("fig9" ... "fig16") and
+	// wraps the rows in the serializable FigureResult envelope.
+	Figure = sim.Figure
 	// RunPolicies evaluates refresh policies on shared workload mixes.
 	RunPolicies = sim.RunPolicies
 	// Fig9 sweeps chip capacity for periodic refresh (§8).

@@ -1,6 +1,7 @@
 package hira_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestSystemHeadline(t *testing.T) {
 		t.Skip("multi-second simulation")
 	}
 	opts := hira.SimOptions{Workloads: 2, Measure: 40000, Warmup: 10000}
-	scores, err := hira.RunPolicies(hira.DefaultSystemConfig(), []hira.RefreshPolicy{
+	scores, err := hira.RunPolicies(context.Background(), hira.DefaultSystemConfig(), []hira.RefreshPolicy{
 		hira.PARAPolicy(64), hira.PARAHiRAPolicy(64, 4),
 	}, opts)
 	if err != nil {

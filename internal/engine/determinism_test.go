@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -23,11 +24,11 @@ func TestEngineDeterminism(t *testing.T) {
 	caps := []int{8, 32}
 
 	t.Run("parallel-matches-serial", func(t *testing.T) {
-		serial, err := sim.Fig9(fig9Opts(1, "", nil), caps)
+		serial, err := sim.Fig9(context.Background(), fig9Opts(1, "", nil), caps)
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := sim.Fig9(fig9Opts(8, "", nil), caps)
+		parallel, err := sim.Fig9(context.Background(), fig9Opts(8, "", nil), caps)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,11 +40,11 @@ func TestEngineDeterminism(t *testing.T) {
 		base := sim.DefaultConfig()
 		base.ChipCapacityGbit = 32
 		policies := []sim.RefreshPolicy{sim.BaselinePolicy(), sim.HiRAPeriodicPolicy(2)}
-		s1, err := sim.RunPolicies(base, policies, fig9Opts(1, "", nil))
+		s1, err := sim.RunPolicies(context.Background(), base, policies, fig9Opts(1, "", nil))
 		if err != nil {
 			t.Fatal(err)
 		}
-		s8, err := sim.RunPolicies(base, policies, fig9Opts(8, "", nil))
+		s8, err := sim.RunPolicies(context.Background(), base, policies, fig9Opts(8, "", nil))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func TestEngineDeterminism(t *testing.T) {
 	t.Run("warm-rerun-simulates-nothing", func(t *testing.T) {
 		dir := t.TempDir()
 		var cold sim.EngineStats
-		first, err := sim.Fig9(fig9Opts(4, dir, &cold), caps)
+		first, err := sim.Fig9(context.Background(), fig9Opts(4, dir, &cold), caps)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +64,7 @@ func TestEngineDeterminism(t *testing.T) {
 			t.Fatal("cold run simulated nothing; stats not wired")
 		}
 		var warm sim.EngineStats
-		second, err := sim.Fig9(fig9Opts(4, dir, &warm), caps)
+		second, err := sim.Fig9(context.Background(), fig9Opts(4, dir, &warm), caps)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func TestEngineDeterminism(t *testing.T) {
 // some cells from cache even with no result store.
 func TestEngineSharesCellsAcrossSweepPoints(t *testing.T) {
 	var stats sim.EngineStats
-	if _, err := sim.Fig9(fig9Opts(4, "", &stats), []int{8, 32}); err != nil {
+	if _, err := sim.Fig9(context.Background(), fig9Opts(4, "", &stats), []int{8, 32}); err != nil {
 		t.Fatal(err)
 	}
 	if stats.CacheHits == 0 {

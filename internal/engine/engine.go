@@ -6,24 +6,32 @@
 // its own content, a parallel run is bit-identical to a serial run
 // regardless of scheduling order.
 //
-// The engine owns three layers of reuse on top of the pool:
+// The engine owns four layers of reuse on top of the pool:
 //
 //   - batch dedup: duplicate keys submitted in one Run execute once;
+//   - cross-request singleflight: concurrent Run batches (e.g. two
+//     service clients asking overlapping questions) that need the same
+//     cold cell trigger exactly one simulation — late arrivals wait for
+//     the in-flight computation instead of repeating it;
 //   - an in-memory content-keyed cache, so an engine shared across sweep
 //     points (capacities, NRH values, channel counts) never repeats a
 //     cell — this subsumes the alone-IPC memoization the sweeps used to
 //     hand-roll;
-//   - an optional JSON result store (ResultDir), so re-running a sweep
-//     after a crash, or with one new policy, only simulates the delta.
+//   - an optional content-addressed result store (ResultDir): sharded
+//     directories of JSON cells written atomically via temp-file +
+//     rename, indexed once at startup, so re-running a sweep after a
+//     crash, or with one new policy, only simulates the delta.
+//
+// Run takes a context: cancellation (a disconnected client, a server
+// shutting down) stops dispatch, interrupts in-flight cells whose Run
+// honors the context, and returns ctx.Err(). Cancellation never corrupts
+// the store — cells either persisted completely before the cancel or not
+// at all.
 package engine
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
+	"context"
 	"fmt"
-	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
 )
@@ -35,26 +43,29 @@ type Cell[R any] struct {
 	// tick counts), because equal keys share one result.
 	Key string
 	// Run computes the cell. It must be deterministic given Key and must
-	// not share mutable state with other cells.
-	Run func() (R, error)
+	// not share mutable state with other cells. Long computations should
+	// poll ctx and return ctx.Err() to honor cancellation promptly; the
+	// result of a cancelled Run is discarded, never cached or stored.
+	Run func(ctx context.Context) (R, error)
 }
 
 // Stats tallies how an engine resolved the cells submitted to it. For
 // batches that complete without error, Submitted = Simulated +
-// CacheHits + StoreHits + Deduped; an aborted batch leaves its
-// unresolved cells counted in Submitted only.
+// CacheHits + StoreHits + Deduped; an aborted or cancelled batch leaves
+// its unresolved cells counted in Submitted only. Cells served by
+// waiting on another batch's in-flight computation count as CacheHits.
 type Stats struct {
-	Submitted   uint64 // cells passed to Run batches
-	Simulated   uint64 // cells actually computed
-	CacheHits   uint64 // served from the in-memory cache
-	StoreHits   uint64 // loaded from the ResultDir store
-	Deduped     uint64 // duplicate keys within a batch
-	StoreErrors uint64 // results that could not be persisted to ResultDir
+	Submitted   uint64 `json:"submitted"`    // cells passed to Run batches
+	Simulated   uint64 `json:"simulated"`    // cells actually computed
+	CacheHits   uint64 `json:"cache_hits"`   // served from the in-memory cache (or an in-flight computation)
+	StoreHits   uint64 `json:"store_hits"`   // loaded from the ResultDir store
+	Deduped     uint64 `json:"deduped"`      // duplicate keys within a batch
+	StoreErrors uint64 `json:"store_errors"` // results that could not be persisted to ResultDir
 
 	// FirstStoreError describes the first ResultDir write failure, so
 	// callers can report why persistence degraded (permissions, full
 	// disk, ...), not just that it did.
-	FirstStoreError string
+	FirstStoreError string `json:"first_store_error,omitempty"`
 }
 
 // Add accumulates another tally into s.
@@ -72,30 +83,54 @@ func (s *Stats) Add(o Stats) {
 
 // Options configures an engine.
 type Options struct {
-	// Parallelism bounds the worker pool; <= 0 means runtime.NumCPU().
+	// Parallelism bounds the number of cells computing at once; <= 0
+	// means runtime.NumCPU(). The bound is engine-wide: concurrent Run
+	// batches share it rather than multiplying it.
 	Parallelism int
 	// ResultDir, when non-empty, persists each cell's result as a JSON
-	// file named by the SHA-256 of its key, and serves matching cells
-	// from disk on later runs. The directory is created if missing.
+	// file named by the SHA-256 of its key (sharded by the first two hex
+	// digits), and serves matching cells from disk on later runs. The
+	// directory is created if missing and indexed once at construction.
 	// Store writes are best-effort: a failed write (disk full,
 	// permissions) never discards the computed result — the cell stays
 	// in the in-memory cache and the failure is tallied in
 	// Stats.StoreErrors / Stats.FirstStoreError.
 	ResultDir string
-	// OnProgress, when set, is called after each cell of a batch
-	// resolves, with the number resolved so far and the batch size. It
-	// is invoked from worker goroutines but never concurrently.
+	// OnProgress, when set, is the default progress callback for batches
+	// that do not supply their own via RunOptions: it is called after
+	// each cell of a batch resolves, with the number resolved so far and
+	// the batch size, from worker goroutines but never concurrently
+	// within one batch.
 	OnProgress func(done, total int)
 }
 
-// Engine executes cells on a bounded worker pool with a content-keyed
-// result cache. The zero value is not usable; construct with New.
-type Engine[R any] struct {
-	opts Options
+// RunOptions configures one Run batch on a shared engine.
+type RunOptions struct {
+	// OnProgress overrides Options.OnProgress for this batch.
+	OnProgress func(done, total int)
+}
 
-	mu    sync.Mutex
-	cache map[string]R
-	stats Stats
+// flight is one in-progress cell computation other batches can wait on.
+type flight[R any] struct {
+	done chan struct{} // closed when r/err are set
+	r    R
+	err  error
+}
+
+// Engine executes cells on a bounded worker pool with a content-keyed
+// result cache. It is safe for concurrent use: overlapping Run batches
+// share the in-memory cache, the result store, the compute bound, and
+// in-flight computations. The zero value is not usable; construct with
+// New.
+type Engine[R any] struct {
+	opts  Options
+	store *store[R]     // nil when ResultDir is empty
+	sem   chan struct{} // engine-wide compute tokens
+
+	mu       sync.Mutex
+	cache    map[string]R
+	inflight map[string]*flight[R]
+	stats    Stats
 }
 
 // New returns an engine for results of type R.
@@ -103,29 +138,54 @@ func New[R any](opts Options) *Engine[R] {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.NumCPU()
 	}
-	if opts.ResultDir != "" {
-		// Create the store once here; if this fails, each save's
-		// CreateTemp fails too and is tallied in Stats.StoreErrors.
-		os.MkdirAll(opts.ResultDir, 0o755)
+	e := &Engine[R]{
+		opts:     opts,
+		sem:      make(chan struct{}, opts.Parallelism),
+		cache:    make(map[string]R),
+		inflight: make(map[string]*flight[R]),
 	}
-	return &Engine[R]{opts: opts, cache: make(map[string]R)}
+	if opts.ResultDir != "" {
+		e.store = newStore[R](opts.ResultDir)
+	}
+	return e
 }
 
-// Parallelism reports the worker pool size.
+// Parallelism reports the engine-wide compute bound.
 func (e *Engine[R]) Parallelism() int { return e.opts.Parallelism }
 
-// Stats returns a snapshot of the engine's resolution tallies.
+// Stats returns a snapshot of the engine's lifetime resolution tallies,
+// accumulated across every batch run on it.
 func (e *Engine[R]) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
 }
 
-// Run resolves every cell and returns results in submission order.
-// Duplicate keys within the batch compute once; previously resolved keys
-// are served from the cache (or the ResultDir store) without running.
-// The first cell error aborts the batch.
-func (e *Engine[R]) Run(cells []Cell[R]) ([]R, error) {
+// StoredCells reports how many cell results the on-disk store currently
+// indexes (0 without a ResultDir).
+func (e *Engine[R]) StoredCells() int {
+	if e.store == nil {
+		return 0
+	}
+	return e.store.Len()
+}
+
+// Run resolves every cell and returns results in submission order, plus
+// this batch's resolution tally. Duplicate keys within the batch compute
+// once; previously resolved keys are served from the cache (or the
+// ResultDir store) without running; keys another concurrent batch is
+// already computing are waited on, not recomputed. The first cell error
+// aborts the batch; ctx cancellation aborts it with ctx.Err().
+func (e *Engine[R]) Run(ctx context.Context, cells []Cell[R]) ([]R, Stats, error) {
+	return e.RunWith(ctx, cells, RunOptions{})
+}
+
+// RunWith is Run with per-batch options.
+func (e *Engine[R]) RunWith(ctx context.Context, cells []Cell[R], ropts RunOptions) ([]R, Stats, error) {
+	onProgress := ropts.OnProgress
+	if onProgress == nil {
+		onProgress = e.opts.OnProgress
+	}
 	results := make([]R, len(cells))
 
 	// Collapse the batch to unique keys, remembering every position each
@@ -135,7 +195,7 @@ func (e *Engine[R]) Run(cells []Cell[R]) ([]R, error) {
 	rep := make(map[string]Cell[R], len(cells))
 	for i, c := range cells {
 		if c.Run == nil {
-			return nil, fmt.Errorf("engine: cell %d (%q) has no Run", i, c.Key)
+			return nil, Stats{}, fmt.Errorf("engine: cell %d (%q) has no Run", i, c.Key)
 		}
 		if _, ok := positions[c.Key]; !ok {
 			order = append(order, c.Key)
@@ -143,162 +203,185 @@ func (e *Engine[R]) Run(cells []Cell[R]) ([]R, error) {
 		}
 		positions[c.Key] = append(positions[c.Key], i)
 	}
-	e.mu.Lock()
-	e.stats.Submitted += uint64(len(cells))
-	e.stats.Deduped += uint64(len(cells) - len(order))
-	e.mu.Unlock()
 
+	b := &batch{}
+	b.stats.Submitted = uint64(len(cells))
+	b.stats.Deduped = uint64(len(cells) - len(order))
+
+	workers := e.opts.Parallelism
+	if workers > len(order) {
+		workers = len(order)
+	}
 	jobs := make(chan string)
 	var wg sync.WaitGroup
-	var firstErr error
-	var aborted bool
-	var prog struct {
-		sync.Mutex
-		done int
-	}
-	for w := 0; w < e.opts.Parallelism; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for key := range jobs {
-				e.mu.Lock()
-				skip := aborted
-				e.mu.Unlock()
-				if skip {
+				if b.abortedOrDone(ctx) {
 					continue
 				}
-				r, err := e.resolve(rep[key])
+				r, err := e.resolve(ctx, rep[key], b)
 				if err != nil {
-					e.mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-						aborted = true
-					}
-					e.mu.Unlock()
+					b.fail(err)
 					continue
 				}
 				for _, i := range positions[key] {
 					results[i] = r
 				}
-				if e.opts.OnProgress != nil {
-					prog.Lock()
-					prog.done += len(positions[key])
-					e.opts.OnProgress(prog.done, len(cells))
-					prog.Unlock()
+				if onProgress != nil {
+					b.mu.Lock()
+					b.done += len(positions[key])
+					onProgress(b.done, len(cells))
+					b.mu.Unlock()
 				}
 			}
 		}()
 	}
+dispatch:
 	for _, key := range order {
-		jobs <- key
+		select {
+		case jobs <- key:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
-}
 
-// resolve returns the cell's result from the cache, the store, or by
-// running it, in that order.
-func (e *Engine[R]) resolve(c Cell[R]) (R, error) {
-	e.mu.Lock()
-	if r, ok := e.cache[c.Key]; ok {
-		e.stats.CacheHits++
-		e.mu.Unlock()
-		return r, nil
+	b.mu.Lock()
+	err := b.firstErr
+	stats := b.stats
+	b.mu.Unlock()
+	if err == nil {
+		err = ctx.Err()
 	}
+
+	e.mu.Lock()
+	e.stats.Add(stats)
 	e.mu.Unlock()
 
-	if r, ok := e.load(c.Key); ok {
-		e.mu.Lock()
-		e.cache[c.Key] = r
-		e.stats.StoreHits++
-		e.mu.Unlock()
-		return r, nil
-	}
-
-	r, err := c.Run()
 	if err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
+}
+
+// batch carries one Run invocation's shared mutable state.
+type batch struct {
+	mu       sync.Mutex
+	stats    Stats
+	firstErr error
+	done     int // progress counter
+}
+
+func (b *batch) fail(err error) {
+	b.mu.Lock()
+	if b.firstErr == nil {
+		b.firstErr = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *batch) abortedOrDone(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.firstErr != nil
+}
+
+func (b *batch) bump(f func(*Stats)) {
+	b.mu.Lock()
+	f(&b.stats)
+	b.mu.Unlock()
+}
+
+// resolve returns the cell's result from the cache, an in-flight
+// computation, the store, or by running it, in that order.
+func (e *Engine[R]) resolve(ctx context.Context, c Cell[R], b *batch) (R, error) {
+	for {
+		e.mu.Lock()
+		if r, ok := e.cache[c.Key]; ok {
+			e.mu.Unlock()
+			b.bump(func(s *Stats) { s.CacheHits++ })
+			return r, nil
+		}
+		if f, ok := e.inflight[c.Key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					b.bump(func(s *Stats) { s.CacheHits++ })
+					return f.r, nil
+				}
+				// The computing batch failed or was cancelled; its error
+				// is not ours. Loop and try to claim the key ourselves.
+				continue
+			case <-ctx.Done():
+				var zero R
+				return zero, ctx.Err()
+			}
+		}
+		f := &flight[R]{done: make(chan struct{})}
+		e.inflight[c.Key] = f
+		e.mu.Unlock()
+
+		r, err := e.compute(ctx, c, b)
+		f.r, f.err = r, err
+		e.mu.Lock()
+		delete(e.inflight, c.Key)
+		e.mu.Unlock()
+		close(f.done)
 		return r, err
 	}
+}
+
+// compute resolves a claimed cell: from the store if present, otherwise
+// by running it under an engine-wide compute token. Successful results
+// enter the cache and (best-effort) the store before the flight is
+// released, so waiters observe a fully persisted cell.
+func (e *Engine[R]) compute(ctx context.Context, c Cell[R], b *batch) (R, error) {
+	var zero R
+	if e.store != nil {
+		if r, ok := e.store.load(c.Key); ok {
+			e.mu.Lock()
+			e.cache[c.Key] = r
+			e.mu.Unlock()
+			b.bump(func(s *Stats) { s.StoreHits++ })
+			return r, nil
+		}
+	}
+
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+	r, err := c.Run(ctx)
+	<-e.sem
+	if err != nil {
+		return zero, err
+	}
+
 	e.mu.Lock()
 	e.cache[c.Key] = r
-	e.stats.Simulated++
 	e.mu.Unlock()
-	if err := e.save(c.Key, r); err != nil {
-		// Best-effort: never throw away a computed result over a store
-		// write failure; record it and carry on from the memory cache.
-		e.mu.Lock()
-		e.stats.StoreErrors++
-		if e.stats.FirstStoreError == "" {
-			e.stats.FirstStoreError = err.Error()
+	b.bump(func(s *Stats) { s.Simulated++ })
+	if e.store != nil {
+		if err := e.store.save(c.Key, r); err != nil {
+			// Best-effort: never throw away a computed result over a
+			// store write failure; record it and carry on from the
+			// memory cache.
+			b.bump(func(s *Stats) {
+				s.StoreErrors++
+				if s.FirstStoreError == "" {
+					s.FirstStoreError = err.Error()
+				}
+			})
 		}
-		e.mu.Unlock()
 	}
 	return r, nil
-}
-
-// storedCell is the on-disk JSON schema of one cell result. The full key
-// is stored alongside the result so files are self-describing and a
-// (vanishingly unlikely) hash collision is detected rather than served.
-type storedCell[R any] struct {
-	Key    string `json:"key"`
-	Result R      `json:"result"`
-}
-
-func (e *Engine[R]) path(key string) string {
-	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(e.opts.ResultDir, hex.EncodeToString(sum[:])+".json")
-}
-
-// load fetches a stored result for key, if the store is enabled and has
-// one. Unreadable or mismatched files are treated as misses: the cell
-// re-simulates and overwrites them.
-func (e *Engine[R]) load(key string) (R, bool) {
-	var zero R
-	if e.opts.ResultDir == "" {
-		return zero, false
-	}
-	data, err := os.ReadFile(e.path(key))
-	if err != nil {
-		return zero, false
-	}
-	var sc storedCell[R]
-	if err := json.Unmarshal(data, &sc); err != nil || sc.Key != key {
-		return zero, false
-	}
-	return sc.Result, true
-}
-
-// save persists a result if the store is enabled, writing via a
-// temporary file so a crash never leaves a truncated cell behind.
-func (e *Engine[R]) save(key string, r R) error {
-	if e.opts.ResultDir == "" {
-		return nil
-	}
-	data, err := json.Marshal(storedCell[R]{Key: key, Result: r})
-	if err != nil {
-		return fmt.Errorf("engine: marshal cell %q: %w", key, err)
-	}
-	dst := e.path(key)
-	tmp, err := os.CreateTemp(e.opts.ResultDir, "cell-*.tmp")
-	if err != nil {
-		return fmt.Errorf("engine: result store: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("engine: result store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("engine: result store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("engine: result store: %w", err)
-	}
-	return nil
 }

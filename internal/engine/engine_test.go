@@ -1,17 +1,20 @@
 package engine
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
 
 // countingCell returns a cell whose Run increments runs and returns v.
 func countingCell(key string, v int, runs *atomic.Int64) Cell[int] {
-	return Cell[int]{Key: key, Run: func() (int, error) {
+	return Cell[int]{Key: key, Run: func(context.Context) (int, error) {
 		runs.Add(1)
 		return v, nil
 	}}
@@ -24,7 +27,7 @@ func TestRunPreservesOrder(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		cells = append(cells, countingCell(fmt.Sprintf("c%d", i), i*i, &runs))
 	}
-	got, err := e.Run(cells)
+	got, _, err := e.Run(context.Background(), cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +48,7 @@ func TestBatchDedup(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		cells = append(cells, countingCell(fmt.Sprintf("c%d", i%4), (i%4)*10, &runs))
 	}
-	got, err := e.Run(cells)
+	got, batch, err := e.Run(context.Background(), cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,9 +60,11 @@ func TestBatchDedup(t *testing.T) {
 	if runs.Load() != 4 {
 		t.Errorf("ran %d cells, want 4", runs.Load())
 	}
-	s := e.Stats()
-	if s.Submitted != 40 || s.Simulated != 4 || s.Deduped != 36 {
-		t.Errorf("stats = %+v, want 40 submitted / 4 simulated / 36 deduped", s)
+	if batch.Submitted != 40 || batch.Simulated != 4 || batch.Deduped != 36 {
+		t.Errorf("batch stats = %+v, want 40 submitted / 4 simulated / 36 deduped", batch)
+	}
+	if s := e.Stats(); s != batch {
+		t.Errorf("engine lifetime stats %+v != sole batch stats %+v", s, batch)
 	}
 }
 
@@ -67,103 +72,21 @@ func TestCacheAcrossBatches(t *testing.T) {
 	e := New[int](Options{Parallelism: 2})
 	var runs atomic.Int64
 	cells := []Cell[int]{countingCell("a", 1, &runs), countingCell("b", 2, &runs)}
-	if _, err := e.Run(cells); err != nil {
+	if _, _, err := e.Run(context.Background(), cells); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(cells); err != nil {
+	_, warm, err := e.Run(context.Background(), cells)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if runs.Load() != 2 {
 		t.Errorf("ran %d cells across two batches, want 2", runs.Load())
 	}
-	if s := e.Stats(); s.CacheHits != 2 {
-		t.Errorf("cache hits = %d, want 2", s.CacheHits)
+	if warm.CacheHits != 2 || warm.Simulated != 0 {
+		t.Errorf("warm batch stats = %+v, want 2 cache hits / 0 simulated", warm)
 	}
-}
-
-func TestStoreRoundTrip(t *testing.T) {
-	type payload struct {
-		X []float64 `json:"x"`
-		N int       `json:"n"`
-	}
-	dir := t.TempDir()
-	var runs atomic.Int64
-	cell := Cell[payload]{Key: "sweep/cap=8", Run: func() (payload, error) {
-		runs.Add(1)
-		return payload{X: []float64{1.5, 2.5}, N: 7}, nil
-	}}
-
-	e1 := New[payload](Options{Parallelism: 1, ResultDir: dir})
-	first, err := e1.Run([]Cell[payload]{cell})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// A fresh engine with the same store must serve the cell from disk.
-	e2 := New[payload](Options{Parallelism: 1, ResultDir: dir})
-	second, err := e2.Run([]Cell[payload]{cell})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if runs.Load() != 1 {
-		t.Errorf("ran %d times, want 1 (store hit)", runs.Load())
-	}
-	if s := e2.Stats(); s.StoreHits != 1 || s.Simulated != 0 {
-		t.Errorf("stats = %+v, want 1 store hit and 0 simulated", s)
-	}
-	if second[0].N != first[0].N || second[0].X[0] != first[0].X[0] || second[0].X[1] != first[0].X[1] {
-		t.Errorf("store round-trip changed result: %+v vs %+v", second[0], first[0])
-	}
-}
-
-func TestStoreCorruptFileResimulates(t *testing.T) {
-	dir := t.TempDir()
-	var runs atomic.Int64
-	cell := countingCell("k", 42, &runs)
-
-	e := New[int](Options{Parallelism: 1, ResultDir: dir})
-	if _, err := e.Run([]Cell[int]{cell}); err != nil {
-		t.Fatal(err)
-	}
-	entries, err := os.ReadDir(dir)
-	if err != nil || len(entries) != 1 {
-		t.Fatalf("store has %d files (err %v), want 1", len(entries), err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, entries[0].Name()), []byte("{garbage"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-
-	e2 := New[int](Options{Parallelism: 1, ResultDir: dir})
-	got, err := e2.Run([]Cell[int]{cell})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got[0] != 42 || runs.Load() != 2 {
-		t.Errorf("corrupt store file not re-simulated: got %d after %d runs", got[0], runs.Load())
-	}
-}
-
-func TestStoreWriteFailureKeepsResult(t *testing.T) {
-	// A ResultDir that cannot be created: parent is a plain file.
-	parent := filepath.Join(t.TempDir(), "file")
-	if err := os.WriteFile(parent, nil, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	e := New[int](Options{Parallelism: 1, ResultDir: filepath.Join(parent, "store")})
-	var runs atomic.Int64
-	got, err := e.Run([]Cell[int]{countingCell("k", 7, &runs)})
-	if err != nil {
-		t.Fatalf("store write failure aborted the batch: %v", err)
-	}
-	if got[0] != 7 {
-		t.Errorf("result = %d, want 7", got[0])
-	}
-	if s := e.Stats(); s.StoreErrors != 1 || s.Simulated != 1 || s.FirstStoreError == "" {
-		t.Errorf("stats = %+v, want 1 store error (with cause) and 1 simulated", s)
-	}
-	// The result survived in the memory cache.
-	if _, err := e.Run([]Cell[int]{countingCell("k", 7, &runs)}); err != nil || runs.Load() != 1 {
-		t.Errorf("computed result not served from cache after store failure (runs=%d, err=%v)", runs.Load(), err)
+	if s := e.Stats(); s.CacheHits != 2 || s.Simulated != 2 {
+		t.Errorf("lifetime stats = %+v, want 2 cache hits and 2 simulated", s)
 	}
 }
 
@@ -171,14 +94,33 @@ func TestErrorAbortsBatch(t *testing.T) {
 	e := New[int](Options{Parallelism: 2})
 	boom := errors.New("boom")
 	cells := []Cell[int]{
-		{Key: "ok", Run: func() (int, error) { return 1, nil }},
-		{Key: "bad", Run: func() (int, error) { return 0, boom }},
+		{Key: "ok", Run: func(context.Context) (int, error) { return 1, nil }},
+		{Key: "bad", Run: func(context.Context) (int, error) { return 0, boom }},
 	}
-	if _, err := e.Run(cells); !errors.Is(err, boom) {
+	if _, _, err := e.Run(context.Background(), cells); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
-	if _, err := e.Run([]Cell[int]{{Key: "nil-run"}}); err == nil {
+	if _, _, err := e.Run(context.Background(), []Cell[int]{{Key: "nil-run"}}); err == nil {
 		t.Fatal("accepted cell without Run")
+	}
+}
+
+func TestFailedCellNotCached(t *testing.T) {
+	e := New[int](Options{Parallelism: 1})
+	calls := 0
+	flaky := Cell[int]{Key: "flaky", Run: func(context.Context) (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, errors.New("transient")
+		}
+		return 9, nil
+	}}
+	if _, _, err := e.Run(context.Background(), []Cell[int]{flaky}); err == nil {
+		t.Fatal("first run should fail")
+	}
+	got, _, err := e.Run(context.Background(), []Cell[int]{flaky})
+	if err != nil || got[0] != 9 {
+		t.Fatalf("retry after failure: got %v, err %v", got, err)
 	}
 }
 
@@ -196,7 +138,7 @@ func TestProgressReachesTotal(t *testing.T) {
 	for i := 0; i < 9; i++ {
 		cells = append(cells, countingCell(fmt.Sprintf("c%d", i%3), i%3, &runs))
 	}
-	if _, err := e.Run(cells); err != nil {
+	if _, _, err := e.Run(context.Background(), cells); err != nil {
 		t.Fatal(err)
 	}
 	if last != 9 {
@@ -207,8 +149,416 @@ func TestProgressReachesTotal(t *testing.T) {
 	}
 }
 
+func TestPerBatchProgressOverride(t *testing.T) {
+	e := New[int](Options{Parallelism: 2, OnProgress: func(done, total int) {
+		t.Error("engine-level progress called despite per-batch override")
+	}})
+	var runs atomic.Int64
+	var got int
+	_, _, err := e.RunWith(context.Background(),
+		[]Cell[int]{countingCell("a", 1, &runs), countingCell("b", 2, &runs)},
+		RunOptions{OnProgress: func(done, total int) { got = done }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("per-batch progress reached %d, want 2", got)
+	}
+}
+
 func TestDefaultParallelism(t *testing.T) {
 	if p := New[int](Options{}).Parallelism(); p < 1 {
 		t.Errorf("default parallelism = %d", p)
+	}
+}
+
+// TestSingleflightAcrossBatches asserts the service-critical contract:
+// two concurrent batches needing the same cold cell trigger exactly one
+// computation, with the late batch served from the in-flight result.
+func TestSingleflightAcrossBatches(t *testing.T) {
+	e := New[int](Options{Parallelism: 4})
+	var runs atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	slow := Cell[int]{Key: "shared", Run: func(context.Context) (int, error) {
+		runs.Add(1)
+		once.Do(func() { close(entered) })
+		<-release
+		return 77, nil
+	}}
+
+	type out struct {
+		r     []int
+		stats Stats
+		err   error
+	}
+	results := make(chan out, 2)
+	go func() {
+		r, s, err := e.Run(context.Background(), []Cell[int]{slow})
+		results <- out{r, s, err}
+	}()
+	<-entered // first batch is computing
+	go func() {
+		r, s, err := e.Run(context.Background(), []Cell[int]{slow})
+		results <- out{r, s, err}
+	}()
+	// Give the second batch a moment to reach the inflight wait, then
+	// let the computation finish. Even if it has not arrived yet, it can
+	// only see the cache afterwards — never a second computation.
+	close(release)
+
+	var simulated, cacheHits uint64
+	for i := 0; i < 2; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.r[0] != 77 {
+			t.Fatalf("batch result = %d, want 77", o.r[0])
+		}
+		simulated += o.stats.Simulated
+		cacheHits += o.stats.CacheHits
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("cell ran %d times across concurrent batches, want 1", runs.Load())
+	}
+	if simulated != 1 || cacheHits != 1 {
+		t.Errorf("batch tallies: %d simulated / %d cache hits, want 1 / 1", simulated, cacheHits)
+	}
+}
+
+// TestSingleflightFailureHandsOff asserts a waiter does not inherit the
+// computing batch's cancellation: it claims the key and computes it.
+func TestSingleflightFailureHandsOff(t *testing.T) {
+	e := New[int](Options{Parallelism: 4})
+	entered := make(chan struct{})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	cell := Cell[int]{Key: "k", Run: func(ctx context.Context) (int, error) {
+		if calls.Add(1) == 1 {
+			// First computation: a long simulation interrupted by its
+			// batch's cancellation.
+			close(entered)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		return 5, nil
+	}}
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := e.Run(ctx1, []Cell[int]{cell})
+		firstDone <- err
+	}()
+	<-entered
+	cancel1() // first batch's cell observes cancellation and fails
+	if err := <-firstDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first batch err = %v, want context.Canceled", err)
+	}
+
+	// The second batch must not be poisoned by the first's cancellation.
+	got, stats, err := e.Run(context.Background(), []Cell[int]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 || stats.Simulated != 1 {
+		t.Errorf("handed-off computation: got %d (stats %+v), want 5 simulated once", got[0], stats)
+	}
+}
+
+// TestCancelledRunReturnsCtxErr asserts in-flight cells observe the
+// context and the batch reports ctx.Err().
+func TestCancelledRunReturnsCtxErr(t *testing.T) {
+	e := New[int](Options{Parallelism: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	var cells []Cell[int]
+	for i := 0; i < 8; i++ {
+		cells = append(cells, Cell[int]{Key: fmt.Sprintf("c%d", i), Run: func(ctx context.Context) (int, error) {
+			once.Do(func() { close(started) })
+			<-ctx.Done() // a long simulation polling its context
+			return 0, ctx.Err()
+		}})
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	if _, _, err := e.Run(ctx, cells); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPreCancelledRunDoesNothing(t *testing.T) {
+	e := New[int](Options{Parallelism: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var runs atomic.Int64
+	if _, _, err := e.Run(ctx, []Cell[int]{countingCell("a", 1, &runs)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if runs.Load() != 0 {
+		t.Errorf("pre-cancelled run computed %d cells", runs.Load())
+	}
+}
+
+// storeFiles returns every persisted cell file under a sharded store.
+func storeFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "??", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	type payload struct {
+		X []float64 `json:"x"`
+		N int       `json:"n"`
+	}
+	dir := t.TempDir()
+	var runs atomic.Int64
+	cell := Cell[payload]{Key: "sweep/cap=8", Run: func(context.Context) (payload, error) {
+		runs.Add(1)
+		return payload{X: []float64{1.5, 2.5}, N: 7}, nil
+	}}
+
+	e1 := New[payload](Options{Parallelism: 1, ResultDir: dir})
+	first, _, err := e1.Run(context.Background(), []Cell[payload]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(storeFiles(t, dir)); n != 1 {
+		t.Fatalf("store has %d sharded cell files, want 1", n)
+	}
+
+	// A fresh engine with the same store must index and serve the cell
+	// from disk.
+	e2 := New[payload](Options{Parallelism: 1, ResultDir: dir})
+	if got := e2.StoredCells(); got != 1 {
+		t.Fatalf("startup index found %d cells, want 1", got)
+	}
+	second, warm, err := e2.Run(context.Background(), []Cell[payload]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("ran %d times, want 1 (store hit)", runs.Load())
+	}
+	if warm.StoreHits != 1 || warm.Simulated != 0 {
+		t.Errorf("stats = %+v, want 1 store hit and 0 simulated", warm)
+	}
+	if second[0].N != first[0].N || second[0].X[0] != first[0].X[0] || second[0].X[1] != first[0].X[1] {
+		t.Errorf("store round-trip changed result: %+v vs %+v", second[0], first[0])
+	}
+}
+
+// TestStoreTruncatedCellResimulates is the crash-hardening regression
+// test: a cell file truncated mid-write (simulating a crash without the
+// atomic rename) must read as a miss on a warm re-run, re-simulate, and
+// be healed in place.
+func TestStoreTruncatedCellResimulates(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	cell := countingCell("k", 42, &runs)
+
+	e := New[int](Options{Parallelism: 1, ResultDir: dir})
+	if _, _, err := e.Run(context.Background(), []Cell[int]{cell}); err != nil {
+		t.Fatal(err)
+	}
+	files := storeFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("store has %d files, want 1", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm re-run on a fresh engine over the same store: the truncated
+	// cell is a miss, not an error, and gets rewritten intact.
+	e2 := New[int](Options{Parallelism: 1, ResultDir: dir})
+	got, stats, err := e2.Run(context.Background(), []Cell[int]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 || runs.Load() != 2 {
+		t.Errorf("truncated cell not re-simulated: got %d after %d runs", got[0], runs.Load())
+	}
+	if stats.Simulated != 1 || stats.StoreHits != 0 {
+		t.Errorf("stats = %+v, want 1 simulated / 0 store hits", stats)
+	}
+	e3 := New[int](Options{Parallelism: 1, ResultDir: dir})
+	if _, healed, err := e3.Run(context.Background(), []Cell[int]{cell}); err != nil || healed.StoreHits != 1 {
+		t.Errorf("store not healed after re-simulation: stats %+v, err %v", healed, err)
+	}
+}
+
+func TestStoreCorruptFileResimulates(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	cell := countingCell("k", 42, &runs)
+
+	e := New[int](Options{Parallelism: 1, ResultDir: dir})
+	if _, _, err := e.Run(context.Background(), []Cell[int]{cell}); err != nil {
+		t.Fatal(err)
+	}
+	files := storeFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("store has %d files, want 1", len(files))
+	}
+	if err := os.WriteFile(files[0], []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := New[int](Options{Parallelism: 1, ResultDir: dir})
+	got, _, err := e2.Run(context.Background(), []Cell[int]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 || runs.Load() != 2 {
+		t.Errorf("corrupt store file not re-simulated: got %d after %d runs", got[0], runs.Load())
+	}
+}
+
+func TestStoreWriteFailureKeepsResult(t *testing.T) {
+	// A ResultDir that cannot be created: parent is a plain file.
+	parent := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(parent, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := New[int](Options{Parallelism: 1, ResultDir: filepath.Join(parent, "store")})
+	var runs atomic.Int64
+	got, stats, err := e.Run(context.Background(), []Cell[int]{countingCell("k", 7, &runs)})
+	if err != nil {
+		t.Fatalf("store write failure aborted the batch: %v", err)
+	}
+	if got[0] != 7 {
+		t.Errorf("result = %d, want 7", got[0])
+	}
+	if stats.StoreErrors != 1 || stats.Simulated != 1 || stats.FirstStoreError == "" {
+		t.Errorf("stats = %+v, want 1 store error (with cause) and 1 simulated", stats)
+	}
+	// The result survived in the memory cache.
+	if _, _, err := e.Run(context.Background(), []Cell[int]{countingCell("k", 7, &runs)}); err != nil || runs.Load() != 1 {
+		t.Errorf("computed result not served from cache after store failure (runs=%d, err=%v)", runs.Load(), err)
+	}
+}
+
+// TestStoreMigratesFlatLayout asserts cells persisted by the
+// pre-sharding flat layout (root/<hash>.json) are moved into shards at
+// startup and served as store hits, so upgraded stores stay warm.
+func TestStoreMigratesFlatLayout(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	cell := countingCell("legacy-key", 11, &runs)
+
+	// Write the cell where the old flat layout put it.
+	hash := hashKey(cell.Key)
+	data, err := json.Marshal(storedCell[int]{Key: cell.Key, Result: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, hash+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New[int](Options{Parallelism: 1, ResultDir: dir})
+	if got := e.StoredCells(); got != 1 {
+		t.Fatalf("startup indexed %d cells from the flat layout, want 1", got)
+	}
+	got, stats, err := e.Run(context.Background(), []Cell[int]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 11 || runs.Load() != 0 || stats.StoreHits != 1 {
+		t.Errorf("migrated cell not served from store: got %d, runs %d, stats %+v", got[0], runs.Load(), stats)
+	}
+	if _, err := os.Stat(filepath.Join(dir, hash+".json")); !os.IsNotExist(err) {
+		t.Error("flat-layout file not moved into its shard")
+	}
+	if files := storeFiles(t, dir); len(files) != 1 {
+		t.Errorf("sharded store has %d files after migration, want 1", len(files))
+	}
+}
+
+// TestStoreIgnoresForeignFiles asserts the index only trusts the sharded
+// layout: stray files in the root (e.g. the pre-sharding flat layout)
+// neither crash startup nor get served.
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.json"), []byte(`{"key":"k","result":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "not-a-shard"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	e := New[int](Options{Parallelism: 1, ResultDir: dir})
+	if got := e.StoredCells(); got != 0 {
+		t.Errorf("index counted %d foreign cells, want 0", got)
+	}
+	var runs atomic.Int64
+	got, _, err := e.Run(context.Background(), []Cell[int]{countingCell("k", 3, &runs)})
+	if err != nil || got[0] != 3 || runs.Load() != 1 {
+		t.Errorf("foreign file interfered: got %v runs %d err %v", got, runs.Load(), err)
+	}
+}
+
+// TestCancelLeavesStoreConsistent asserts a cancelled batch leaves no
+// temp droppings and only fully written cells, so a later run completes
+// from a consistent store.
+func TestCancelLeavesStoreConsistent(t *testing.T) {
+	dir := t.TempDir()
+	e := New[int](Options{Parallelism: 2, ResultDir: dir})
+	ctx, cancel := context.WithCancel(context.Background())
+	var cells []Cell[int]
+	fired := make(chan struct{})
+	var once sync.Once
+	for i := 0; i < 16; i++ {
+		i := i
+		cells = append(cells, Cell[int]{Key: fmt.Sprintf("c%d", i), Run: func(ctx context.Context) (int, error) {
+			if i >= 4 {
+				once.Do(func() { close(fired) })
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}
+			return i * 2, nil
+		}})
+	}
+	go func() {
+		<-fired
+		cancel()
+	}()
+	if _, _, err := e.Run(ctx, cells); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "??", "*.tmp")); len(tmps) != 0 {
+		t.Errorf("cancelled run left %d temp files: %v", len(tmps), tmps)
+	}
+	// Every persisted cell must be complete and parseable: a fresh
+	// engine indexes them and a clean run serves them as store hits.
+	for i := range cells {
+		i := i
+		cells[i].Run = func(context.Context) (int, error) { return i * 2, nil }
+	}
+	e2 := New[int](Options{Parallelism: 2, ResultDir: dir})
+	got, stats, err := e2.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Errorf("cell %d = %d after recovery, want %d", i, v, i*2)
+		}
+	}
+	if stats.StoreHits+stats.Simulated != 16 {
+		t.Errorf("recovery stats %+v do not cover all 16 cells", stats)
 	}
 }

@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// store is the content-addressed on-disk half of an engine's result
+// cache. Each cell result lives in its own JSON file named by the
+// SHA-256 of the cell key, sharded into 256 two-hex-digit directories so
+// a paper-scale store (hundreds of thousands of cells) never produces a
+// single pathological directory. Writes go through a temp file in the
+// destination shard followed by os.Rename, so a crash at any instant
+// leaves either the old file, the new file, or an ignorable *.tmp —
+// never a truncated cell. An unreadable, corrupt, or key-mismatched file
+// is a miss: the cell re-simulates and overwrites it.
+//
+// At construction the store walks its shard directories once and builds
+// an in-memory index of present hashes, so a cold lookup against a large
+// store is a map probe, not a stat. The index is updated on every save;
+// it only goes stale if a *different* process writes the same directory,
+// in which case those cells are re-simulated rather than served — safe,
+// merely redundant.
+type store[R any] struct {
+	root string
+
+	mu    sync.Mutex
+	index map[string]struct{} // present cell hashes
+}
+
+// storedCell is the on-disk JSON schema of one cell result. The full key
+// is stored alongside the result so files are self-describing and a
+// (vanishingly unlikely) hash collision is detected rather than served.
+type storedCell[R any] struct {
+	Key    string `json:"key"`
+	Result R      `json:"result"`
+}
+
+// newStore opens (creating if needed) the store rooted at dir and loads
+// its index. Cells written by the pre-sharding flat layout
+// (root/<hash>.json) are migrated into their shards first, so upgraded
+// stores stay warm. An unusable root degrades to an empty index: loads
+// miss and saves report errors, which the engine tallies as
+// StoreErrors.
+func newStore[R any](dir string) *store[R] {
+	s := &store[R]{root: dir, index: make(map[string]struct{})}
+	os.MkdirAll(dir, 0o755)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return s
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() {
+			if hash, ok := flatCellName(name); ok {
+				// One-time migration of a flat-layout cell; on any
+				// failure leave it in place (it is simply re-simulated).
+				if os.MkdirAll(filepath.Join(dir, hash[:2]), 0o755) == nil &&
+					os.Rename(filepath.Join(dir, name), s.path(hash)) == nil {
+					s.index[hash] = struct{}{}
+				}
+			}
+			continue
+		}
+		if !isShardName(name) {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if hash, ok := flatCellName(f.Name()); ok {
+				s.index[hash] = struct{}{}
+			}
+		}
+	}
+	return s
+}
+
+// flatCellName parses a <64-hex>.json cell file name.
+func flatCellName(name string) (string, bool) {
+	if len(name) != 64+len(".json") || filepath.Ext(name) != ".json" {
+		return "", false
+	}
+	hash := name[:64]
+	if _, err := hex.DecodeString(hash); err != nil {
+		return "", false
+	}
+	return hash, true
+}
+
+// isShardName reports whether name is a two-hex-digit shard directory.
+func isShardName(name string) bool {
+	if len(name) != 2 {
+		return false
+	}
+	_, err := hex.DecodeString(name)
+	return err == nil
+}
+
+// hashKey returns the hex SHA-256 a key files under.
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// path returns where the cell for hash lives: root/ab/abcd....json.
+func (s *store[R]) path(hash string) string {
+	return filepath.Join(s.root, hash[:2], hash+".json")
+}
+
+// load fetches the stored result for key, if present and intact.
+func (s *store[R]) load(key string) (R, bool) {
+	var zero R
+	hash := hashKey(key)
+	s.mu.Lock()
+	_, present := s.index[hash]
+	s.mu.Unlock()
+	if !present {
+		return zero, false
+	}
+	data, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		return zero, false
+	}
+	var sc storedCell[R]
+	if err := json.Unmarshal(data, &sc); err != nil || sc.Key != key {
+		return zero, false
+	}
+	return sc.Result, true
+}
+
+// save persists a result, writing via a temp file in the destination
+// shard so the final rename is atomic on every POSIX filesystem.
+func (s *store[R]) save(key string, r R) error {
+	data, err := json.Marshal(storedCell[R]{Key: key, Result: r})
+	if err != nil {
+		return fmt.Errorf("engine: marshal cell %q: %w", key, err)
+	}
+	hash := hashKey(key)
+	shard := filepath.Join(s.root, hash[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("engine: result store: %w", err)
+	}
+	tmp, err := os.CreateTemp(shard, "cell-*.tmp")
+	if err != nil {
+		return fmt.Errorf("engine: result store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: result store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: result store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: result store: %w", err)
+	}
+	s.mu.Lock()
+	s.index[hash] = struct{}{}
+	s.mu.Unlock()
+	return nil
+}
+
+// Len reports how many cells the index currently knows about.
+func (s *store[R]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}

@@ -1,0 +1,228 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a hira-server job API.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Use a client without a
+	// global timeout: Wait holds a streaming response open for the
+	// duration of a job.
+	HTTPClient *http.Client
+	// PollInterval is Wait's fallback polling cadence when the event
+	// stream is unavailable; <= 0 means 500ms.
+	PollInterval time.Duration
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out,
+// translating non-2xx responses into errors carrying the server's
+// message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s %s: %s (%s)", method, path, ae.Error, resp.Status)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec and returns the accepted (queued) job.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Job fetches a job's current state (result included once done).
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Jobs lists all jobs (results elided).
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var out []Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Stats fetches the server's engine tallies.
+func (c *Client) Stats(ctx context.Context) (*StatsReport, error) {
+	var rep StatsReport
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Wait blocks until the job reaches a terminal state and returns it. It
+// consumes the server's event stream, invoking onProgress (may be nil)
+// as cells resolve; if the stream is unavailable it falls back to
+// polling. ctx cancels the wait, not the job — pair with Cancel for
+// that.
+func (c *Client) Wait(ctx context.Context, id string, onProgress func(done, total int)) (*Job, error) {
+	if j, err := c.waitStream(ctx, id, onProgress); err == nil {
+		return j, nil
+	} else if ctx.Err() != nil {
+		return nil, err
+	}
+	return c.waitPoll(ctx, id)
+}
+
+// waitStream consumes /v1/jobs/{id}/stream until a terminal state event.
+func (c *Client) waitStream(ctx context.Context, id string, onProgress func(done, total int)) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("stream: %s", resp.Status)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // results can be large
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			switch event {
+			case "progress":
+				if onProgress != nil {
+					var p Progress
+					if json.Unmarshal([]byte(data), &p) == nil {
+						onProgress(p.Done, p.Total)
+					}
+				}
+			case "state":
+				var j Job
+				if err := json.Unmarshal([]byte(data), &j); err != nil {
+					return nil, err
+				}
+				if j.State.Terminal() {
+					return &j, nil
+				}
+			}
+			event, data = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("stream for job %s ended without a terminal state", id)
+}
+
+// waitPoll polls GET /v1/jobs/{id} until terminal.
+func (c *Client) waitPoll(ctx context.Context, id string) (*Job, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Run submits a spec and waits for it to finish.
+func (c *Client) Run(ctx context.Context, spec JobSpec, onProgress func(done, total int)) (*Job, error) {
+	j, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, j.ID, onProgress)
+}
+
+// FigureResult decodes a done figure job's result payload.
+func (j *Job) FigureResult() (*FigureResultPayload, error) {
+	if j.State != StateDone {
+		return nil, fmt.Errorf("job %s is %s, not done", j.ID, j.State)
+	}
+	var res FigureResultPayload
+	if err := json.Unmarshal(j.Result, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

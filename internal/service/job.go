@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"hira/internal/sim"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Progress is a job's cell-resolution progress within its current batch.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Job is the serializable view of one submitted experiment.
+type Job struct {
+	ID       string     `json:"id"`
+	Spec     JobSpec    `json:"spec"`
+	State    JobState   `json:"state"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Progress Progress   `json:"progress"`
+	// Error describes why a failed job failed.
+	Error string `json:"error,omitempty"`
+	// Stats tallies how the shared engine resolved this job's cells:
+	// a warm resubmission reports Simulated == 0 with every cell a
+	// cache or store hit.
+	Stats *sim.EngineStats `json:"engine_stats,omitempty"`
+	// Result is the job's kind-specific payload: a sim.FigureResult for
+	// figure kinds, a PoliciesResult for "policies", module results for
+	// "characterize", the Fig. 11 grid for "security", the Table 2
+	// report for "area".
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// FigureResultPayload is the result payload of figure jobs — the exact
+// encoding cmd/hira-sim's -json flag emits, so CLI and HTTP outputs are
+// diffable.
+type FigureResultPayload = sim.FigureResult
+
+// PoliciesResult is the result payload of a "policies" job.
+type PoliciesResult struct {
+	Policies []sim.PolicyScore `json:"policies"`
+	Stats    sim.EngineStats   `json:"engine_stats"`
+}
+
+// Event is one server-sent event on a job's stream.
+type Event struct {
+	// Name is the SSE event name: "progress" or "state".
+	Name string
+	// Data is the event payload, marshaled to one JSON line.
+	Data any
+}
+
+// job is the server-side state behind a Job view.
+type job struct {
+	mu     sync.Mutex
+	view   Job
+	cancel context.CancelFunc // non-nil once running; also set for queued cancellation
+	// cancelled marks a cancel request that arrived while queued, so
+	// the scheduler discards the job instead of running it.
+	cancelled bool
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+	subs map[chan Event]struct{}
+}
+
+func newJob(id string, spec JobSpec, now time.Time) *job {
+	return &job{
+		view: Job{ID: id, Spec: spec, State: StateQueued, Created: now},
+		done: make(chan struct{}),
+		subs: make(map[chan Event]struct{}),
+	}
+}
+
+// snapshot returns a copy of the job's serializable view.
+func (j *job) snapshot() Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view
+}
+
+// subscribe registers a stream consumer and returns its channel plus the
+// current snapshot (sent to the consumer first, so late subscribers see
+// state immediately). Slow consumers miss intermediate progress events
+// (sends are non-blocking) but always receive the terminal state via
+// done + snapshot.
+func (j *job) subscribe() (chan Event, Job) {
+	ch := make(chan Event, 16)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	snap := j.view
+	j.mu.Unlock()
+	return ch, snap
+}
+
+func (j *job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// broadcast sends an event to every subscriber without blocking.
+func (j *job) broadcast(ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// setProgress records batch progress and notifies subscribers. It is the
+// engine's per-batch OnProgress callback.
+func (j *job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.view.Progress = Progress{Done: done, Total: total}
+	j.broadcast(Event{Name: "progress", Data: j.view.Progress})
+	j.mu.Unlock()
+}
+
+// start transitions queued -> running and installs the cancel func. It
+// returns false — and the caller must skip the job — when a cancel
+// request already finalized it.
+func (j *job) start(cancel context.CancelFunc, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelled || j.view.State.Terminal() {
+		return false
+	}
+	j.view.State = StateRunning
+	t := now
+	j.view.Started = &t
+	j.cancel = cancel
+	return true
+}
+
+// finish records the terminal state, result, and stats, then wakes every
+// waiter and subscriber.
+func (j *job) finish(state JobState, result json.RawMessage, stats *sim.EngineStats, errMsg string, now time.Time) {
+	j.mu.Lock()
+	if j.cancelled {
+		// An acknowledged cancel (DELETE returned 200) always ends
+		// cancelled, even if the computation outran the cancellation.
+		state, result, errMsg = StateCancelled, nil, ""
+	}
+	j.view.State = state
+	t := now
+	j.view.Finished = &t
+	j.view.Result = result
+	j.view.Stats = stats
+	j.view.Error = errMsg
+	j.broadcast(Event{Name: "state", Data: j.view})
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// requestCancel cancels a running job's context, or finalizes a job
+// still sitting in the queue (the scheduler skips it when popped).
+// Returns false if the job already finished.
+func (j *job) requestCancel(now time.Time) bool {
+	j.mu.Lock()
+	if j.view.State.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelled = true
+	if j.cancel != nil {
+		// Running: the job's context interrupts its in-flight cells and
+		// the worker finalizes it as cancelled.
+		j.cancel()
+		j.mu.Unlock()
+		return true
+	}
+	// Still queued: finalize immediately.
+	j.view.State = StateCancelled
+	t := now
+	j.view.Finished = &t
+	j.broadcast(Event{Name: "state", Data: j.view})
+	j.mu.Unlock()
+	close(j.done)
+	return true
+}

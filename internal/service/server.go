@@ -1,0 +1,473 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"hira/internal/areamodel"
+	"hira/internal/charz"
+	"hira/internal/rowhammer"
+	"hira/internal/sim"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Engine configures the shared experiment engine every job runs on:
+	// Parallelism bounds concurrent cell simulations across all jobs,
+	// ResultDir is the content-addressed result store.
+	Engine sim.EngineConfig
+	// Workers bounds how many jobs execute concurrently; <= 0 means 2.
+	// Cell-level parallelism inside each job is bounded separately by
+	// Engine.Parallelism, which concurrent jobs share.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; <= 0 means 64. A
+	// full queue rejects submissions with 503 rather than queueing
+	// unboundedly.
+	QueueDepth int
+	// RetainJobs bounds how many finished jobs (and their result
+	// payloads) stay queryable in memory; <= 0 means 256. The oldest
+	// terminal jobs are evicted first — their cell results remain
+	// durable in the engine's store, so resubmitting is cheap. Queued
+	// and running jobs are never evicted.
+	RetainJobs int
+	// RetainFor is a grace period during which a finished job is never
+	// evicted even over the RetainJobs bound, so a client that lost its
+	// event stream and fell back to polling can still fetch the result;
+	// <= 0 means one minute.
+	RetainFor time.Duration
+	// Limits bounds individual job specs.
+	Limits Limits
+	// now overrides the clock in tests; nil means time.Now.
+	now func() time.Time
+}
+
+// Server schedules experiment jobs on one shared engine and serves them
+// over HTTP. Construct with New, mount Handler, and Close when done.
+type Server struct {
+	cfg Config
+	lab *sim.Engine
+	mux *http.ServeMux
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals workers when pending grows or the server closes
+	pending []*job     // jobs waiting for a worker, FIFO; cancels remove entries
+	jobs    map[string]*job
+	order   []string // submission order, for listing
+	seq     int
+	closed  bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 256
+	}
+	if cfg.RetainFor <= 0 {
+		cfg.RetainFor = time.Minute
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	cfg.Limits = cfg.Limits.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		lab:  sim.NewEngine(cfg.Engine),
+		mux:  http.NewServeMux(),
+		jobs: make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Engine exposes the shared experiment engine (for stats inspection).
+func (s *Server) Engine() *sim.Engine { return s.lab }
+
+// Handler returns the HTTP handler serving the job API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops accepting work, cancels running jobs, and waits for the
+// workers to drain. Pending jobs finalize as cancelled.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	pending := s.pending
+	s.pending = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.stop() // interrupts running jobs' contexts
+	s.wg.Wait()
+	now := s.cfg.now()
+	for _, j := range pending {
+		j.requestCancel(now)
+	}
+}
+
+// worker pops pending jobs until the server closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: state transitions, per-job engine
+// stats, progress wiring, and result marshaling.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.start(cancel, s.cfg.now()) {
+		return // cancelled while queued
+	}
+
+	result, stats, err := s.execute(ctx, j)
+	now := s.cfg.now()
+	switch {
+	case err == nil && ctx.Err() != nil:
+		// An acknowledged cancel must win even when the computation ran
+		// to completion anyway (kinds like "area" finish faster than
+		// they poll the context).
+		j.finish(StateCancelled, nil, stats, "", now)
+	case err == nil:
+		j.finish(StateDone, result, stats, "", now)
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCancelled, nil, stats, "", now)
+	default:
+		j.finish(StateFailed, nil, stats, err.Error(), now)
+	}
+}
+
+// execute dispatches on the job's kind and returns the marshaled result.
+func (s *Server) execute(ctx context.Context, j *job) (json.RawMessage, *sim.EngineStats, error) {
+	spec := j.snapshot().Spec
+	switch spec.Kind {
+	case KindFig9, KindFig12, KindFig13, KindFig14, KindFig15, KindFig16:
+		var stats sim.EngineStats
+		opts := spec.Sim.options()
+		opts.Stats = &stats
+		opts.Progress = j.setProgress
+		res, err := s.lab.Figure(ctx, spec.Kind, opts, spec.Xs, spec.figureParams())
+		if err != nil {
+			return nil, &stats, err
+		}
+		return marshal(res, &stats)
+	case KindPolicies:
+		policies, err := spec.policyList()
+		if err != nil {
+			return nil, nil, err
+		}
+		var stats sim.EngineStats
+		opts := spec.Sim.options()
+		opts.Stats = &stats
+		opts.Progress = j.setProgress
+		scores, err := s.lab.RunPolicies(ctx, spec.Config.config(), policies, opts)
+		if err != nil {
+			return nil, &stats, err
+		}
+		return marshal(PoliciesResult{Policies: scores, Stats: stats}, &stats)
+	case KindCharacterize:
+		mods := spec.Charz.modules()
+		opts := spec.Charz.charzOptions()
+		results := make([]charz.ModuleResult, 0, len(mods))
+		for i, m := range mods {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			results = append(results, charz.CharacterizeModule(m, opts))
+			j.setProgress(i+1, len(mods))
+		}
+		return marshal(results, nil)
+	case KindSecurity:
+		pts, err := rowhammer.DefaultConfig().Fig11()
+		if err != nil {
+			return nil, nil, err
+		}
+		return marshal(pts, nil)
+	case KindArea:
+		return marshal(areamodel.BuildReport(), nil)
+	default:
+		// Unreachable: submissions are validated.
+		return nil, nil, fmt.Errorf("unknown kind %q", spec.Kind)
+	}
+}
+
+// figureParams returns the second-parameter grid the spec's figure kind
+// consumes (capacities or NRH values).
+func (spec JobSpec) figureParams() []int {
+	if figureKinds[spec.Kind].caps {
+		return spec.Capacities
+	}
+	return spec.NRHs
+}
+
+func marshal(v any, stats *sim.EngineStats) (json.RawMessage, *sim.EngineStats, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, stats, fmt.Errorf("marshal result: %w", err)
+	}
+	return data, stats, nil
+}
+
+// --- HTTP layer ---
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit validates a spec, registers the job, and enqueues it.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	// Any valid spec fits in a few KB; cap the body so an oversized
+	// request cannot balloon memory before validation runs.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	if err := spec.Validate(s.cfg.Limits); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueDepth)
+		return
+	}
+	s.seq++
+	id := fmt.Sprintf("j%d", s.seq)
+	j := newJob(id, spec, s.cfg.now())
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.pending = append(s.pending, j)
+	s.evictLocked()
+	s.cond.Signal()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// evictLocked drops the oldest terminal jobs once more than RetainJobs
+// are tracked, so a long-lived server's job table (and the result
+// payloads it pins) stays bounded. Jobs finished within RetainFor are
+// exempt, so a polling client always has a window to fetch its result.
+// Callers hold s.mu.
+func (s *Server) evictLocked() {
+	excess := len(s.order) - s.cfg.RetainJobs
+	if excess <= 0 {
+		return
+	}
+	cutoff := s.cfg.now().Add(-s.cfg.RetainFor)
+	kept := s.order[:0]
+	for _, id := range s.order {
+		v := s.jobs[id].snapshot()
+		if excess > 0 && v.State.Terminal() && v.Finished != nil && v.Finished.Before(cutoff) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// lookup resolves {id} or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return j
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+// handleList returns job summaries (results elided) in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		v := s.jobs[id].snapshot()
+		v.Result = nil
+		out = append(out, v)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	// Drop the job from the pending list first, so a cancelled queued
+	// job frees its queue slot immediately rather than riding along as
+	// a tombstone until a worker pops it.
+	s.mu.Lock()
+	for i, pj := range s.pending {
+		if pj == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !j.requestCancel(s.cfg.now()) {
+		writeError(w, http.StatusConflict, "job %s already finished", j.snapshot().ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleStream serves a job's server-sent event stream: the current
+// state immediately, progress events as cells resolve, and a final
+// "state" event carrying the terminal job (result included).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, snap := j.subscribe()
+	defer j.unsubscribe(ch)
+	writeEvent(w, Event{Name: "state", Data: snap})
+	flusher.Flush()
+	if snap.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			// Drain any buffered progress, then emit the terminal state.
+			for {
+				select {
+				case ev := <-ch:
+					if ev.Name != "state" {
+						writeEvent(w, ev)
+					}
+				default:
+					writeEvent(w, Event{Name: "state", Data: j.snapshot()})
+					flusher.Flush()
+					return
+				}
+			}
+		case ev := <-ch:
+			writeEvent(w, ev)
+			flusher.Flush()
+			if ev.Name == "state" {
+				if job, ok := ev.Data.(Job); ok && job.State.Terminal() {
+					return
+				}
+			}
+		}
+	}
+}
+
+func writeEvent(w http.ResponseWriter, ev Event) {
+	data, err := json.Marshal(ev.Data)
+	if err != nil {
+		data = []byte(`{}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, data)
+}
+
+// StatsReport is GET /v1/stats: the shared engine's lifetime tallies.
+type StatsReport struct {
+	Engine      sim.EngineStats  `json:"engine"`
+	StoredCells int              `json:"stored_cells"`
+	Parallelism int              `json:"parallelism"`
+	Jobs        map[JobState]int `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	rep := StatsReport{
+		Engine:      s.lab.Stats(),
+		StoredCells: s.lab.StoredCells(),
+		Parallelism: s.lab.Parallelism(),
+		Jobs:        map[JobState]int{},
+	}
+	s.mu.Lock()
+	for _, id := range s.order {
+		rep.Jobs[s.jobs[id].snapshot().State]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,30 +29,6 @@ type CellResult struct {
 
 // experimentEngine is the engine instantiation every sweep runs on.
 type experimentEngine = engine.Engine[CellResult]
-
-// newEngine builds the experiment engine an options set asks for.
-func newEngine(opts Options) *experimentEngine {
-	return engine.New[CellResult](engine.Options{
-		Parallelism: opts.Parallelism,
-		ResultDir:   opts.ResultDir,
-		OnProgress:  opts.Progress,
-	})
-}
-
-// sweepEngine is the shared preamble of every sweep entry point: it
-// applies option defaults, builds the engine they configure, and returns
-// a flush function (for defer) that accumulates the engine's tallies
-// into opts.Stats once the sweep finishes.
-func sweepEngine(opts Options) (*experimentEngine, Options, func()) {
-	opts = opts.withDefaults()
-	eng := newEngine(opts)
-	flush := func() {
-		if opts.Stats != nil {
-			opts.Stats.Add(eng.Stats())
-		}
-	}
-	return eng, opts, flush
-}
 
 // profileKey encodes a workload profile's full parameter set, not just
 // its name, so tuning a benchmark's characterization (MPKI etc.)
@@ -84,12 +61,15 @@ func simCellKey(cfg Config, mix workload.Mix, warmup, measure int) string {
 func simCell(cfg Config, mix workload.Mix, warmup, measure int) engine.Cell[CellResult] {
 	return engine.Cell[CellResult]{
 		Key: simCellKey(cfg, mix, warmup, measure),
-		Run: func() (CellResult, error) {
+		Run: func(ctx context.Context) (CellResult, error) {
 			sys, err := NewSystem(cfg, mix)
 			if err != nil {
 				return CellResult{}, err
 			}
-			res := sys.Run(warmup, measure, nil)
+			res, err := sys.RunContext(ctx, warmup, measure, nil)
+			if err != nil {
+				return CellResult{}, err
+			}
 			return CellResult{
 				IPC:        res.IPC,
 				Sched:      res.Sched,
@@ -110,8 +90,12 @@ func aloneCellKey(p workload.Profile, seed uint64, ticks int) string {
 func aloneCell(p workload.Profile, seed uint64, ticks int) engine.Cell[CellResult] {
 	return engine.Cell[CellResult]{
 		Key: aloneCellKey(p, seed, ticks),
-		Run: func() (CellResult, error) {
-			return CellResult{Alone: AloneIPC(p, seed, ticks)}, nil
+		Run: func(ctx context.Context) (CellResult, error) {
+			alone, err := AloneIPCContext(ctx, p, seed, ticks)
+			if err != nil {
+				return CellResult{}, err
+			}
+			return CellResult{Alone: alone}, nil
 		},
 	}
 }

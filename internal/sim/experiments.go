@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"context"
+	"fmt"
+
 	"hira/internal/cache"
 	"hira/internal/cpu"
 	"hira/internal/engine"
@@ -52,12 +55,24 @@ func (m *aloneMemory) step() {
 // (~60ns, an idle DRAM read round trip). Results are deterministic per
 // (profile, seed).
 func AloneIPC(p workload.Profile, seed uint64, ticks int) float64 {
+	ipc, _ := AloneIPCContext(context.Background(), p, seed, ticks)
+	return ipc
+}
+
+// AloneIPCContext is AloneIPC honoring cancellation: it polls ctx every
+// few thousand ticks and returns ctx.Err() once cancelled.
+func AloneIPCContext(ctx context.Context, p workload.Profile, seed uint64, ticks int) (float64, error) {
 	mem := &aloneMemory{latencyTicks: 72, llc: cache.MustNew(8<<20, 8, 64)}
 	gen := workload.NewGenerator(p, seed)
 	c := cpu.New(0, gen, mem)
 	mem.c = c
 	budget := 0.0
 	for i := 0; i < ticks; i++ {
+		if i&(ctxCheckTicks-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		budget += 4 * cpuCyclesPerTick
 		if whole := int(budget); whole > 0 {
 			c.Tick(float64(whole))
@@ -65,7 +80,7 @@ func AloneIPC(p workload.Profile, seed uint64, ticks int) float64 {
 		}
 		mem.step()
 	}
-	return c.IPC(float64(ticks) * cpuCyclesPerTick)
+	return c.IPC(float64(ticks) * cpuCyclesPerTick), nil
 }
 
 // aloneSeed derives the deterministic per-core workload seed used both by
@@ -87,11 +102,12 @@ type Options struct {
 
 	// Parallelism bounds the experiment engine's worker pool; 0 means
 	// one worker per CPU core. Results are bit-identical at any setting
-	// because every cell seeds from its own content.
+	// because every cell seeds from its own content. Ignored when the
+	// sweep runs on a shared Engine, whose construction fixed the bound.
 	Parallelism int
 	// ResultDir, when non-empty, persists per-cell JSON results keyed by
 	// cell hash, so re-running a sweep after a crash or with one new
-	// policy only simulates the delta.
+	// policy only simulates the delta. Ignored on a shared Engine.
 	ResultDir string
 	// Progress, when set, is called as a batch's cells resolve.
 	Progress func(done, total int)
@@ -99,6 +115,11 @@ type Options struct {
 	// (simulated vs cache/store hits) across the sweep.
 	Stats *EngineStats
 }
+
+// WithDefaults returns o with zero fields replaced by the laptop-scale
+// defaults, so callers (e.g. the service's cost estimator) can see the
+// effective sweep size before running it.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
 
 func (o Options) withDefaults() Options {
 	if o.Workloads == 0 {
@@ -119,37 +140,86 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Engine is a shared experiment engine: every sweep run through one
+// Engine shares its in-memory cell cache, its on-disk result store, its
+// compute bound, and its in-flight computations, so concurrent callers
+// (e.g. service clients) asking overlapping questions trigger each
+// simulation exactly once. Safe for concurrent use.
+type Engine struct {
+	eng *experimentEngine
+}
+
+// EngineConfig sizes a shared Engine.
+type EngineConfig struct {
+	// Parallelism bounds how many cells compute at once across all
+	// concurrent sweeps; 0 means one per CPU core.
+	Parallelism int
+	// ResultDir, when non-empty, is the content-addressed result store.
+	ResultDir string
+}
+
+// NewEngine builds a shared experiment engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{eng: engine.New[CellResult](engine.Options{
+		Parallelism: cfg.Parallelism,
+		ResultDir:   cfg.ResultDir,
+	})}
+}
+
+// Stats returns the engine's lifetime resolution tallies across every
+// sweep run on it.
+func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
+
+// StoredCells reports how many cell results the on-disk store indexes.
+func (e *Engine) StoredCells() int { return e.eng.StoredCells() }
+
+// Parallelism reports the engine-wide compute bound.
+func (e *Engine) Parallelism() int { return e.eng.Parallelism() }
+
+// newSweepEngine builds the single-sweep engine the one-shot entry
+// points use when no shared Engine is supplied.
+func newSweepEngine(opts Options) *Engine {
+	return NewEngine(EngineConfig{Parallelism: opts.Parallelism, ResultDir: opts.ResultDir})
+}
+
 // PolicyScore is the average weighted speedup of one policy under one
 // system shape.
 type PolicyScore struct {
-	Policy RefreshPolicy
+	Policy RefreshPolicy `json:"policy"`
 	// WS is the mean weighted speedup across mixes.
-	WS float64
+	WS float64 `json:"ws"`
 	// Sched aggregates controller stats across mixes.
-	Sched SchedAggregate
+	Sched SchedAggregate `json:"sched"`
 }
 
 // SchedAggregate sums selected controller statistics across runs.
 type SchedAggregate struct {
-	HiRAPiggybacks, HiRAPairs, StandaloneRefreshes, REFs uint64
-	SeqBlocked, CanACTBlocked                            uint64
+	HiRAPiggybacks      uint64 `json:"hira_piggybacks"`
+	HiRAPairs           uint64 `json:"hira_pairs"`
+	StandaloneRefreshes uint64 `json:"standalone_refreshes"`
+	REFs                uint64 `json:"refs"`
+	SeqBlocked          uint64 `json:"seq_blocked"`
+	CanACTBlocked       uint64 `json:"can_act_blocked"`
 }
 
 // RunPolicies evaluates each policy on the same mixes and returns average
-// weighted speedups. Cells run on a fresh experiment engine; sweeps that
-// evaluate many points (Fig9, Fig12, ...) share one engine across points
-// so repeated cells simulate once.
-func RunPolicies(base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
-	eng, opts, flush := sweepEngine(opts)
-	defer flush()
-	return runPolicies(eng, base, policies, opts)
+// weighted speedups. Cells run on a fresh single-sweep engine; use
+// Engine.RunPolicies to share cells (and a result store) across calls.
+func RunPolicies(ctx context.Context, base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
+	return newSweepEngine(opts).RunPolicies(ctx, base, policies, opts)
+}
+
+// RunPolicies evaluates each policy on the same mixes on the shared
+// engine.
+func (e *Engine) RunPolicies(ctx context.Context, base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
+	return runPolicies(ctx, e.eng, base, policies, opts.withDefaults())
 }
 
 // runPolicies submits one batch to eng: the alone-IPC reference cells the
 // mixes need, plus one simulation cell per (policy, mix), then assembles
 // weighted speedups from the resolved results. opts must already have
-// defaults applied (callers go through sweepEngine).
-func runPolicies(eng *experimentEngine, base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
+// defaults applied.
+func runPolicies(ctx context.Context, eng *experimentEngine, base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
 	mixes := workload.Mixes(opts.Workloads, opts.Cores, opts.Seed)
 
 	var cells []engine.Cell[CellResult]
@@ -179,7 +249,10 @@ func runPolicies(eng *experimentEngine, base Config, policies []RefreshPolicy, o
 		}
 	}
 
-	results, err := eng.Run(cells)
+	results, batch, err := eng.RunWith(ctx, cells, engine.RunOptions{OnProgress: opts.Progress})
+	if opts.Stats != nil {
+		opts.Stats.Add(batch)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -211,20 +284,25 @@ func runPolicies(eng *experimentEngine, base Config, policies []RefreshPolicy, o
 
 // Fig9Row is one capacity point of Fig. 9.
 type Fig9Row struct {
-	CapacityGbit int
+	CapacityGbit int `json:"capacity_gbit"`
 	// WS maps policy name to average weighted speedup; NormNoRefresh and
 	// NormBaseline are Fig. 9a/9b normalizations.
-	WS            map[string]float64
-	NormNoRefresh map[string]float64
-	NormBaseline  map[string]float64
+	WS            map[string]float64 `json:"ws"`
+	NormNoRefresh map[string]float64 `json:"norm_no_refresh"`
+	NormBaseline  map[string]float64 `json:"norm_baseline"`
 }
 
 // Fig9Capacities is the x-axis of Fig. 9.
 func Fig9Capacities() []int { return []int{2, 4, 8, 16, 32, 64, 128} }
 
 // Fig9 sweeps chip capacity for periodic refresh (§8): No Refresh,
-// Baseline REF, and HiRA-{0,2,4,8}.
-func Fig9(opts Options, capacities []int) ([]Fig9Row, error) {
+// Baseline REF, and HiRA-{0,2,4,8}, on a fresh single-sweep engine.
+func Fig9(ctx context.Context, opts Options, capacities []int) ([]Fig9Row, error) {
+	return newSweepEngine(opts).Fig9(ctx, opts, capacities)
+}
+
+// Fig9 runs the capacity sweep on the shared engine.
+func (e *Engine) Fig9(ctx context.Context, opts Options, capacities []int) ([]Fig9Row, error) {
 	if capacities == nil {
 		capacities = Fig9Capacities()
 	}
@@ -232,13 +310,12 @@ func Fig9(opts Options, capacities []int) ([]Fig9Row, error) {
 		NoRefreshPolicy(), BaselinePolicy(),
 		HiRAPeriodicPolicy(0), HiRAPeriodicPolicy(2), HiRAPeriodicPolicy(4), HiRAPeriodicPolicy(8),
 	}
-	eng, opts, flush := sweepEngine(opts)
-	defer flush()
+	opts = opts.withDefaults()
 	var rows []Fig9Row
 	for _, cap := range capacities {
 		base := DefaultConfig()
 		base.ChipCapacityGbit = cap
-		scores, err := runPolicies(eng, base, policies, opts)
+		scores, err := runPolicies(ctx, e.eng, base, policies, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -262,23 +339,28 @@ func Fig9(opts Options, capacities []int) ([]Fig9Row, error) {
 
 // Fig12Row is one RowHammer-threshold point of Fig. 12.
 type Fig12Row struct {
-	NRH          int
-	WS           map[string]float64
-	NormBaseline map[string]float64 // Fig. 12a: vs no-defense baseline
-	NormPARA     map[string]float64 // Fig. 12b: vs PARA without HiRA
+	NRH          int                `json:"nrh"`
+	WS           map[string]float64 `json:"ws"`
+	NormBaseline map[string]float64 `json:"norm_baseline"` // Fig. 12a: vs no-defense baseline
+	NormPARA     map[string]float64 `json:"norm_para"`     // Fig. 12b: vs PARA without HiRA
 }
 
 // Fig12NRHValues is the x-axis of Fig. 12.
 func Fig12NRHValues() []int { return []int{64, 128, 256, 512, 1024} }
 
 // Fig12 sweeps the RowHammer threshold for preventive refresh (§9.2):
-// Baseline (no defense), PARA, and PARA+HiRA-{0,2,4,8}.
-func Fig12(opts Options, nrhs []int) ([]Fig12Row, error) {
+// Baseline (no defense), PARA, and PARA+HiRA-{0,2,4,8}, on a fresh
+// single-sweep engine.
+func Fig12(ctx context.Context, opts Options, nrhs []int) ([]Fig12Row, error) {
+	return newSweepEngine(opts).Fig12(ctx, opts, nrhs)
+}
+
+// Fig12 runs the RowHammer-threshold sweep on the shared engine.
+func (e *Engine) Fig12(ctx context.Context, opts Options, nrhs []int) ([]Fig12Row, error) {
 	if nrhs == nil {
 		nrhs = Fig12NRHValues()
 	}
-	eng, opts, flush := sweepEngine(opts)
-	defer flush()
+	opts = opts.withDefaults()
 	var rows []Fig12Row
 	for _, nrh := range nrhs {
 		policies := []RefreshPolicy{
@@ -286,7 +368,7 @@ func Fig12(opts Options, nrhs []int) ([]Fig12Row, error) {
 			PARAHiRAPolicy(nrh, 0), PARAHiRAPolicy(nrh, 2),
 			PARAHiRAPolicy(nrh, 4), PARAHiRAPolicy(nrh, 8),
 		}
-		scores, err := runPolicies(eng, DefaultConfig(), policies, opts)
+		scores, err := runPolicies(ctx, e.eng, DefaultConfig(), policies, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -312,19 +394,18 @@ func Fig12(opts Options, nrhs []int) ([]Fig12Row, error) {
 // (Figs. 13-16).
 type ScaleRow struct {
 	// X is the swept quantity (channel or rank count).
-	X int
+	X int `json:"x"`
 	// Param is the second parameter (chip capacity for Figs. 13/14, NRH
 	// for Figs. 15/16).
-	Param int
-	WS    map[string]float64
+	Param int                `json:"param"`
+	WS    map[string]float64 `json:"ws"`
 }
 
 // scaleSweep runs policies across a channels/ranks sweep on one shared
 // engine, so cells repeated across sweep points simulate once.
-func scaleSweep(opts Options, xs []int, params []int, channels bool,
+func scaleSweep(ctx context.Context, e *Engine, opts Options, xs []int, params []int, channels bool,
 	mkPolicies func(param int) []RefreshPolicy, mkCap func(param int) int) ([]ScaleRow, error) {
-	eng, opts, flush := sweepEngine(opts)
-	defer flush()
+	opts = opts.withDefaults()
 	var rows []ScaleRow
 	for _, param := range params {
 		for _, x := range xs {
@@ -335,7 +416,7 @@ func scaleSweep(opts Options, xs []int, params []int, channels bool,
 			} else {
 				base.Ranks = x
 			}
-			scores, err := runPolicies(eng, base, mkPolicies(param), opts)
+			scores, err := runPolicies(ctx, e.eng, base, mkPolicies(param), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -352,63 +433,138 @@ func scaleSweep(opts Options, xs []int, params []int, channels bool,
 // ScaleXValues is the channel/rank sweep of §10.
 func ScaleXValues() []int { return []int{1, 2, 4, 8} }
 
+// periodicScalePolicies is the policy set of Figs. 13/14.
+func periodicScalePolicies(int) []RefreshPolicy {
+	return []RefreshPolicy{BaselinePolicy(), HiRAPeriodicPolicy(2), HiRAPeriodicPolicy(4)}
+}
+
+// paraScalePolicies is the policy set of Figs. 15/16.
+func paraScalePolicies(nrh int) []RefreshPolicy {
+	return []RefreshPolicy{PARAPolicy(nrh), PARAHiRAPolicy(nrh, 2), PARAHiRAPolicy(nrh, 4)}
+}
+
 // Fig13 sweeps channel count under periodic refresh for chip capacities
 // {2, 8, 32} Gb with Baseline, HiRA-2, HiRA-4.
-func Fig13(opts Options, xs, caps []int) ([]ScaleRow, error) {
+func Fig13(ctx context.Context, opts Options, xs, caps []int) ([]ScaleRow, error) {
+	return newSweepEngine(opts).Fig13(ctx, opts, xs, caps)
+}
+
+// Fig13 runs the channel sweep on the shared engine.
+func (e *Engine) Fig13(ctx context.Context, opts Options, xs, caps []int) ([]ScaleRow, error) {
 	if xs == nil {
 		xs = ScaleXValues()
 	}
 	if caps == nil {
 		caps = []int{2, 8, 32}
 	}
-	return scaleSweep(opts, xs, caps, true,
-		func(int) []RefreshPolicy {
-			return []RefreshPolicy{BaselinePolicy(), HiRAPeriodicPolicy(2), HiRAPeriodicPolicy(4)}
-		},
+	return scaleSweep(ctx, e, opts, xs, caps, true, periodicScalePolicies,
 		func(cap int) int { return cap })
 }
 
 // Fig14 sweeps rank count under periodic refresh.
-func Fig14(opts Options, xs, caps []int) ([]ScaleRow, error) {
+func Fig14(ctx context.Context, opts Options, xs, caps []int) ([]ScaleRow, error) {
+	return newSweepEngine(opts).Fig14(ctx, opts, xs, caps)
+}
+
+// Fig14 runs the rank sweep on the shared engine.
+func (e *Engine) Fig14(ctx context.Context, opts Options, xs, caps []int) ([]ScaleRow, error) {
 	if xs == nil {
 		xs = ScaleXValues()
 	}
 	if caps == nil {
 		caps = []int{2, 8, 32}
 	}
-	return scaleSweep(opts, xs, caps, false,
-		func(int) []RefreshPolicy {
-			return []RefreshPolicy{BaselinePolicy(), HiRAPeriodicPolicy(2), HiRAPeriodicPolicy(4)}
-		},
+	return scaleSweep(ctx, e, opts, xs, caps, false, periodicScalePolicies,
 		func(cap int) int { return cap })
 }
 
 // Fig15 sweeps channel count under PARA for NRH {1024, 256, 64}.
-func Fig15(opts Options, xs, nrhs []int) ([]ScaleRow, error) {
+func Fig15(ctx context.Context, opts Options, xs, nrhs []int) ([]ScaleRow, error) {
+	return newSweepEngine(opts).Fig15(ctx, opts, xs, nrhs)
+}
+
+// Fig15 runs the PARA channel sweep on the shared engine.
+func (e *Engine) Fig15(ctx context.Context, opts Options, xs, nrhs []int) ([]ScaleRow, error) {
 	if xs == nil {
 		xs = ScaleXValues()
 	}
 	if nrhs == nil {
 		nrhs = []int{1024, 256, 64}
 	}
-	return scaleSweep(opts, xs, nrhs, true,
-		func(nrh int) []RefreshPolicy {
-			return []RefreshPolicy{PARAPolicy(nrh), PARAHiRAPolicy(nrh, 2), PARAHiRAPolicy(nrh, 4)}
-		},
+	return scaleSweep(ctx, e, opts, xs, nrhs, true, paraScalePolicies,
 		func(int) int { return 8 })
 }
 
 // Fig16 sweeps rank count under PARA.
-func Fig16(opts Options, xs, nrhs []int) ([]ScaleRow, error) {
+func Fig16(ctx context.Context, opts Options, xs, nrhs []int) ([]ScaleRow, error) {
+	return newSweepEngine(opts).Fig16(ctx, opts, xs, nrhs)
+}
+
+// Fig16 runs the PARA rank sweep on the shared engine.
+func (e *Engine) Fig16(ctx context.Context, opts Options, xs, nrhs []int) ([]ScaleRow, error) {
 	if xs == nil {
 		xs = ScaleXValues()
 	}
 	if nrhs == nil {
 		nrhs = []int{1024, 256, 64}
 	}
-	return scaleSweep(opts, xs, nrhs, false,
-		func(nrh int) []RefreshPolicy {
-			return []RefreshPolicy{PARAPolicy(nrh), PARAHiRAPolicy(nrh, 2), PARAHiRAPolicy(nrh, 4)}
-		},
+	return scaleSweep(ctx, e, opts, xs, nrhs, false, paraScalePolicies,
 		func(int) int { return 8 })
+}
+
+// FigureResult is the serializable envelope of one figure run: exactly
+// one of the row slices is set, per Kind. cmd/hira-sim's -json flag and
+// the experiment service emit this identical encoding, so CLI and HTTP
+// outputs are diffable.
+type FigureResult struct {
+	Kind  string     `json:"kind"`
+	Fig9  []Fig9Row  `json:"fig9,omitempty"`
+	Fig12 []Fig12Row `json:"fig12,omitempty"`
+	Scale []ScaleRow `json:"scale,omitempty"`
+	// Stats tallies how the engine resolved this figure's cells.
+	Stats EngineStats `json:"engine_stats"`
+}
+
+// Figure runs one named figure sweep on a fresh single-sweep engine.
+func Figure(ctx context.Context, kind string, opts Options, xs, params []int) (*FigureResult, error) {
+	return newSweepEngine(opts).Figure(ctx, kind, opts, xs, params)
+}
+
+// Figure runs one named figure sweep on the shared engine and wraps the
+// rows in the serializable envelope. xs is the channel/rank axis of
+// figs. 13-16 (ignored otherwise); params is the figure's second
+// parameter set: capacities for fig9/13/14, NRH values for fig12/15/16.
+// Nil slices take each figure's paper defaults (an empty non-nil
+// slice, by contrast, sweeps nothing and returns no rows).
+func (e *Engine) Figure(ctx context.Context, kind string, opts Options, xs, params []int) (*FigureResult, error) {
+	var figStats EngineStats
+	userStats := opts.Stats
+	opts.Stats = &figStats
+
+	res := &FigureResult{Kind: kind}
+	var err error
+	switch kind {
+	case "fig9":
+		res.Fig9, err = e.Fig9(ctx, opts, params)
+	case "fig12":
+		res.Fig12, err = e.Fig12(ctx, opts, params)
+	case "fig13":
+		res.Scale, err = e.Fig13(ctx, opts, xs, params)
+	case "fig14":
+		res.Scale, err = e.Fig14(ctx, opts, xs, params)
+	case "fig15":
+		res.Scale, err = e.Fig15(ctx, opts, xs, params)
+	case "fig16":
+		res.Scale, err = e.Fig16(ctx, opts, xs, params)
+	default:
+		return nil, fmt.Errorf("sim: unknown figure kind %q", kind)
+	}
+	if userStats != nil {
+		userStats.Add(figStats)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = figStats
+	return res, nil
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"hira/internal/workload"
@@ -68,7 +70,7 @@ func TestSystemDeterminism(t *testing.T) {
 }
 
 func TestNoRefreshBeatsBaseline(t *testing.T) {
-	scores, err := RunPolicies(DefaultConfig(),
+	scores, err := RunPolicies(context.Background(), DefaultConfig(),
 		[]RefreshPolicy{NoRefreshPolicy(), BaselinePolicy()}, quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +84,7 @@ func TestFig9ShapeAtHighCapacity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second sweep")
 	}
-	rows, err := Fig9(quickOpts(), []int{8, 128})
+	rows, err := Fig9(context.Background(), quickOpts(), []int{8, 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +109,7 @@ func TestFig12ShapeAtLowNRH(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second sweep")
 	}
-	rows, err := Fig12(quickOpts(), []int{1024, 64})
+	rows, err := Fig12(context.Background(), quickOpts(), []int{1024, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func TestChannelSweepScalesPerformance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second sweep")
 	}
-	rows, err := Fig13(quickOpts(), []int{1, 4}, []int{32})
+	rows, err := Fig13(context.Background(), quickOpts(), []int{1, 4}, []int{32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +153,7 @@ func TestRankSweepRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second sweep")
 	}
-	rows, err := Fig14(quickOpts(), []int{1, 2}, []int{8})
+	rows, err := Fig14(context.Background(), quickOpts(), []int{1, 2}, []int{8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,6 +163,36 @@ func TestRankSweepRuns(t *testing.T) {
 				t.Errorf("ranks=%d %s WS = %f", r.X, name, ws)
 			}
 		}
+	}
+}
+
+// TestCancelledSweepReturnsCtxErr asserts cancellation propagates
+// through the sweep entry points: a pre-cancelled context does no work,
+// and a context cancelled mid-sweep (here: after the first cell
+// resolves) interrupts the in-flight simulations and surfaces ctx.Err().
+func TestCancelledSweepReturnsCtxErr(t *testing.T) {
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	var stats EngineStats
+	opts := quickOpts()
+	opts.Stats = &stats
+	if _, err := Fig9(pre, opts, []int{8}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Fig9 err = %v, want context.Canceled", err)
+	}
+	if stats.Simulated != 0 {
+		t.Errorf("pre-cancelled sweep simulated %d cells", stats.Simulated)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts = quickOpts()
+	opts.Progress = func(done, total int) {
+		if done == 1 {
+			cancel()
+		}
+	}
+	if _, err := Fig9(ctx, opts, []int{8}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-sweep cancelled Fig9 err = %v, want context.Canceled", err)
 	}
 }
 

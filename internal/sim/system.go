@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,16 +43,16 @@ const defaultSPTCoverage = 0.32
 // RefreshPolicy names a refresh configuration under test.
 type RefreshPolicy struct {
 	// Name labels the configuration in reports ("Baseline", "HiRA-2"...).
-	Name string
+	Name string `json:"name"`
 
-	Periodic   core.PeriodicMode
-	Preventive core.PreventiveMode
+	Periodic   core.PeriodicMode   `json:"periodic"`
+	Preventive core.PreventiveMode `json:"preventive"`
 
 	// SlackTRC is tRefSlack in units of tRC (the N of HiRA-N).
-	SlackTRC int
+	SlackTRC int `json:"slack_trc"`
 
 	// NRH is the RowHammer threshold PARA must defend; 0 disables PARA.
-	NRH int
+	NRH int `json:"nrh"`
 }
 
 // NoRefreshPolicy is Fig. 9a's ideal upper bound.
@@ -387,31 +388,62 @@ func (s *System) fastForward(k int) {
 	s.ticksRun += k
 }
 
-// runTicks advances n ticks, fast-forwarding through idle windows.
-func (s *System) runTicks(n int) {
+// ctxCheckTicks is how many simulated ticks may elapse between context
+// polls in the run loops (a power of two so the alone loop can mask).
+// At DDR4-2400 tick rates this bounds cancellation latency to a few
+// microseconds of simulated time — milliseconds of wall clock at worst —
+// while keeping the poll off the per-tick hot path.
+const ctxCheckTicks = 4096
+
+// runTicks advances n ticks, fast-forwarding through idle windows and
+// polling ctx every ctxCheckTicks ticks so a cancelled run stops
+// promptly instead of simulating to completion.
+func (s *System) runTicks(ctx context.Context, n int) error {
+	check := 0
 	for done := 0; done < n; {
+		if check <= 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			check = ctxCheckTicks
+		}
 		s.Tick()
 		done++
+		check--
 		if done >= n {
-			return
+			return nil
 		}
 		if k := s.idleTicks(n - done); k > 0 {
 			s.fastForward(k)
 			done += k
+			check -= k
 		}
 	}
+	return nil
 }
 
 // Run executes warmup then measure ticks and returns the measured-phase
 // result. IPCAlone (same order as cores) feeds the weighted speedup; pass
 // nil to skip it.
 func (s *System) Run(warmup, measure int, ipcAlone []float64) Result {
-	s.runTicks(warmup)
+	res, _ := s.RunContext(context.Background(), warmup, measure, ipcAlone)
+	return res
+}
+
+// RunContext is Run honoring cancellation: once ctx is cancelled the
+// simulation stops within ctxCheckTicks ticks and returns ctx.Err(). A
+// cancelled system is mid-simulation and must not be reused.
+func (s *System) RunContext(ctx context.Context, warmup, measure int, ipcAlone []float64) (Result, error) {
+	if err := s.runTicks(ctx, warmup); err != nil {
+		return Result{}, err
+	}
 	for i := range s.cores {
 		s.retiredAt[i] = s.cores[i].Retired
 	}
 	s.ctrl.Stats = sched.Stats{}
-	s.runTicks(measure)
+	if err := s.runTicks(ctx, measure); err != nil {
+		return Result{}, err
+	}
 	res := Result{Ticks: measure, Sched: s.ctrl.Stats, LLCHitRate: s.llc.HitRate()}
 	cycles := float64(measure) * cpuCyclesPerTick
 	for i, c := range s.cores {
@@ -420,5 +452,5 @@ func (s *System) Run(warmup, measure int, ipcAlone []float64) Result {
 	if ipcAlone != nil {
 		res.WeightedSpeedup = metrics.WeightedSpeedup(res.IPC, ipcAlone)
 	}
-	return res
+	return res, nil
 }
