@@ -8,6 +8,8 @@
 //
 //	hira-client -server http://localhost:8080 -exp fig9
 //	hira-client -exp fig12 -nrhs 64,256 -workloads 8 -ticks 240000
+//	hira-client -exp fig9 -traces t1.trace        (trace in the server's -traces dir)
+//	hira-client -exp fig9 -workload-spec my.json  (full workloads object)
 //	hira-client -exp area
 package main
 
@@ -24,15 +26,19 @@ import (
 	"time"
 
 	"hira/internal/service"
+	"hira/internal/workload"
 )
 
 var (
 	server            = flag.String("server", "http://localhost:8080", "hira-server base URL")
 	exp               = flag.String("exp", "fig9", "job kind: fig9|fig12|fig13|fig14|fig15|fig16|characterize|security|area")
 	workloads         = flag.Int("workloads", 0, "mixes per sweep point (0 = server default)")
+	cores             = flag.Int("cores", 0, "cores per mix (0 = server default)")
 	ticks             = flag.Int("ticks", 0, "measured ticks per run (0 = server default)")
 	warmup            = flag.Int("warmup", 0, "warmup ticks per run (0 = server default)")
 	seed              = flag.Uint64("seed", 0, "workload seed (0 = server default)")
+	traces            = flag.String("traces", "", "comma-separated trace file names in the server's trace directory, dealt round-robin across cores and mixes (hira-sim -trace's rule)")
+	wlSpec            = flag.String("workload-spec", "", "JSON file with a workloads object (mixes/profiles/traces), sent inline")
 	caps              = flag.String("capacities", "", "comma-separated chip capacities in Gbit (fig9/13/14)")
 	nrhs              = flag.String("nrhs", "", "comma-separated RowHammer thresholds (fig12/15/16)")
 	xs                = flag.String("xs", "", "comma-separated channel/rank axis (fig13-16)")
@@ -61,12 +67,72 @@ func main() {
 	os.Exit(run())
 }
 
+// workloadsObject builds the spec's workloads block from -traces or
+// -workload-spec. The returned core count (non-zero only for -traces)
+// is the mix width the expansion assumed; the caller pins it into the
+// spec's sim block so the request stays self-consistent even if the
+// server's default core count ever changes.
+func workloadsObject() (*service.WorkloadsSpec, int, error) {
+	switch {
+	case *traces != "" && *wlSpec != "":
+		return nil, 0, fmt.Errorf("-traces and -workload-spec are mutually exclusive")
+	case *traces != "":
+		// Expand the trace list with the same round-robin deal hira-sim
+		// uses for -trace (workload.RoundRobinNames shares the index rule
+		// with RoundRobinMixes), so CLI and service sweeps over the same
+		// traces produce identical engine cells. Generated names are
+		// index-only ("t0", "t1", ...) — display labels, independent of
+		// the file names; identity is the content digest.
+		n, c := *workloads, *cores
+		if n < 0 || c < 0 {
+			return nil, 0, fmt.Errorf("-workloads and -cores must be positive")
+		}
+		if n == 0 {
+			n = 4
+		}
+		if c == 0 {
+			c = 8
+		}
+		ws := &service.WorkloadsSpec{}
+		var names []string
+		for _, f := range strings.Split(*traces, ",") {
+			name := fmt.Sprintf("t%d", len(names))
+			ws.Traces = append(ws.Traces, service.TraceSpec{Name: name, File: strings.TrimSpace(f)})
+			names = append(names, name)
+		}
+		ws.Mixes = workload.RoundRobinNames(names, n, c)
+		return ws, c, nil
+	case *wlSpec != "":
+		data, err := os.ReadFile(*wlSpec)
+		if err != nil {
+			return nil, 0, err
+		}
+		ws := &service.WorkloadsSpec{}
+		if err := json.Unmarshal(data, ws); err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", *wlSpec, err)
+		}
+		return ws, 0, nil
+	}
+	return nil, 0, nil
+}
+
 func run() int {
 	spec := service.JobSpec{Kind: *exp}
-	if *workloads != 0 || *ticks != 0 || *warmup != 0 || *seed != 0 {
-		spec.Sim = &service.SimSpec{Workloads: *workloads, Measure: *ticks, Warmup: *warmup, Seed: *seed}
+	if *workloads != 0 || *cores != 0 || *ticks != 0 || *warmup != 0 || *seed != 0 {
+		spec.Sim = &service.SimSpec{Workloads: *workloads, Cores: *cores, Measure: *ticks, Warmup: *warmup, Seed: *seed}
 	}
-	var err error
+	ws, assumedCores, err := workloadsObject()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	spec.Workloads = ws
+	if assumedCores != 0 {
+		if spec.Sim == nil {
+			spec.Sim = &service.SimSpec{}
+		}
+		spec.Sim.Cores = assumedCores
+	}
 	if spec.Capacities, err = parseInts(*caps); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2

@@ -38,6 +38,7 @@ var (
 	parallel = flag.Int("parallel", 0, "max concurrent cell simulations across all jobs (0 = one per CPU core)")
 	workers  = flag.Int("workers", 2, "max concurrently executing jobs")
 	queue    = flag.Int("queue", 64, "max queued jobs before submissions get 503")
+	traceDir = flag.String("traces", "", "directory of recorded trace files job specs may reference (empty rejects trace workloads)")
 )
 
 func main() {
@@ -50,6 +51,7 @@ func run() int {
 		Engine:     sim.EngineConfig{Parallelism: *parallel, ResultDir: *results},
 		Workers:    *workers,
 		QueueDepth: *queue,
+		TraceDir:   *traceDir,
 	})
 	defer svc.Close()
 

@@ -8,6 +8,14 @@
 // worker pool (results are bit-identical at any setting) and -results
 // persists per-cell JSON results, so an interrupted or extended sweep
 // only simulates the delta on the next run.
+//
+// Workloads are pluggable: by default sweeps run -workloads random
+// multiprogrammed SPEC mixes, but -trace replays recorded access traces
+// (see -record, which captures a benchmark's synthetic stream to a
+// replayable trace file) and -workload-spec runs the experiment
+// service's workloads object (named mixes over builtin benchmarks,
+// inline custom profiles, and trace references) from a JSON file, so
+// CLI and HTTP sweeps over the same workloads share engine cells.
 package main
 
 import (
@@ -17,16 +25,21 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"hira"
+	"hira/internal/service"
+	"hira/internal/workload"
 )
 
 var (
 	exp        = flag.String("exp", "fig9", "experiment: fig9|fig12|fig13|fig14|fig15|fig16")
-	workloads  = flag.Int("workloads", 4, "number of 8-core multiprogrammed mixes")
+	workloads  = flag.Int("workloads", 4, "number of multiprogrammed mixes")
+	cores      = flag.Int("cores", 8, "cores per mix")
 	ticks      = flag.Int("ticks", 120000, "measured memory-controller ticks per run")
 	warmup     = flag.Int("warmup", 30000, "warmup ticks per run")
 	seed       = flag.Uint64("seed", 1, "workload seed")
@@ -36,7 +49,73 @@ var (
 	jsonOut    = flag.Bool("json", false, "emit figure rows as JSON (the experiment service's encoding)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
+
+	record   = flag.String("record", "", "record a benchmark's synthetic access stream to this trace file and exit")
+	recordWL = flag.String("record-workload", "mcf", "builtin benchmark to record (with -record)")
+	recordN  = flag.Int("record-accesses", 200000, "accesses to record (with -record)")
+	traces   = flag.String("trace", "", "comma-separated trace files replayed as the workload set (dealt round-robin across cores and mixes)")
+	wlSpec   = flag.String("workload-spec", "", "JSON file with a service-style workloads object (mixes/profiles/traces)")
+	traceDir = flag.String("trace-dir", ".", "directory trace references in -workload-spec resolve against")
 )
+
+// customMixes builds the explicit workload set from -trace or
+// -workload-spec; nil means the builtin SPEC mixes.
+func customMixes() ([]hira.WorkloadMix, error) {
+	switch {
+	case *traces != "" && *wlSpec != "":
+		return nil, fmt.Errorf("-trace and -workload-spec are mutually exclusive")
+	case *traces != "":
+		if *workloads < 1 || *cores < 1 {
+			return nil, fmt.Errorf("-workloads and -cores must be positive")
+		}
+		var srcs []hira.Workload
+		for _, path := range strings.Split(*traces, ",") {
+			tr, err := hira.LoadTrace(strings.TrimSpace(path))
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "trace %s: %d accesses, sha256:%s\n", tr.Label(), tr.Len(), tr.Digest())
+			srcs = append(srcs, tr)
+		}
+		// The round-robin deal is the same rule clients use when they
+		// expand a trace list into explicit service mixes, so both paths
+		// produce identical engine cells.
+		return hira.RoundRobinWorkloadMixes(srcs, *workloads, *cores), nil
+	case *wlSpec != "":
+		data, err := os.ReadFile(*wlSpec)
+		if err != nil {
+			return nil, err
+		}
+		var ws service.WorkloadsSpec
+		if err := json.Unmarshal(data, &ws); err != nil {
+			return nil, fmt.Errorf("%s: %w", *wlSpec, err)
+		}
+		if err := ws.Validate(service.Limits{}, *cores); err != nil {
+			return nil, fmt.Errorf("%s: %w", *wlSpec, err)
+		}
+		return ws.Resolve(*traceDir)
+	}
+	return nil, nil
+}
+
+// recordTrace captures -record-accesses of the named builtin benchmark's
+// stream (under -seed) into -record.
+func recordTrace() error {
+	p, err := workload.ProfileByName(*recordWL)
+	if err != nil {
+		return err
+	}
+	tr, err := workload.Record(filepath.Base(*record), p, *seed, *recordN)
+	if err != nil {
+		return err
+	}
+	if err := workload.WriteTraceFile(*record, tr.Accesses()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d accesses of %s (seed %d) to %s\nsha256:%s\n",
+		tr.Len(), *recordWL, *seed, *record, tr.Digest())
+	return nil
+}
 
 // engineStats accumulates cache/simulation tallies across the experiment.
 var engineStats hira.EngineStats
@@ -52,10 +131,14 @@ func endProgressLine() {
 	}
 }
 
+// mixSet is the resolved -trace/-workload-spec workload set (nil for
+// builtin mixes), computed once in run().
+var mixSet []hira.WorkloadMix
+
 func opts() hira.SimOptions {
 	o := hira.SimOptions{
-		Workloads: *workloads, Measure: *ticks, Warmup: *warmup, Seed: *seed,
-		Parallelism: *parallel, ResultDir: *results, Stats: &engineStats,
+		Workloads: *workloads, Cores: *cores, Measure: *ticks, Warmup: *warmup, Seed: *seed,
+		Mixes: mixSet, Parallelism: *parallel, ResultDir: *results, Stats: &engineStats,
 	}
 	if *progress {
 		o.Progress = func(done, total int) {
@@ -168,6 +251,18 @@ func main() {
 }
 
 func run() int {
+	if *record != "" {
+		if err := recordTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	var err error
+	if mixSet, err = customMixes(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -217,7 +312,6 @@ func run() int {
 		return 0
 	}
 
-	var err error
 	switch *exp {
 	case "fig9":
 		err = fig9(ctx)

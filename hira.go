@@ -39,6 +39,7 @@ import (
 	"hira/internal/rowhammer"
 	"hira/internal/sim"
 	"hira/internal/softmc"
+	"hira/internal/workload"
 )
 
 // Timing re-exports the DDR4 timing parameter set.
@@ -209,6 +210,45 @@ var (
 	Fig15 = sim.Fig15
 	// Fig16 sweeps ranks under PARA (§10.2).
 	Fig16 = sim.Fig16
+)
+
+// Workload re-exports: sweeps accept any workload source per core —
+// builtin SPEC profiles, custom profiles, or recorded traces — via
+// SimOptions.Mixes; sources carry a content identity so the experiment
+// engine never aliases two different workloads.
+type (
+	// Workload is one pluggable workload source (content key, label,
+	// seeded deterministic access stream).
+	Workload = workload.Source
+	// WorkloadProfile is a synthetic benchmark characterization; custom
+	// profiles must pass Validate.
+	WorkloadProfile = workload.Profile
+	// WorkloadMix is one multiprogrammed workload: a source per core.
+	WorkloadMix = workload.SourceMix
+	// WorkloadTrace is a recorded access trace replayed deterministically;
+	// its identity is the SHA-256 of its encoded bytes.
+	WorkloadTrace = workload.Trace
+	// WorkloadAccess is one access of a trace or generator stream.
+	WorkloadAccess = workload.Access
+)
+
+// Workload constructors and helpers.
+var (
+	// SPECProfiles returns the builtin SPEC CPU2006 profile set.
+	SPECProfiles = workload.SPEC2006Profiles
+	// WorkloadByName returns a builtin benchmark profile.
+	WorkloadByName = workload.ProfileByName
+	// RecordTrace captures the first n accesses of a source's stream as
+	// a replayable trace.
+	RecordTrace = workload.Record
+	// LoadTrace reads a trace file written by WriteTraceFile or
+	// `hira-sim -record`.
+	LoadTrace = workload.LoadTrace
+	// WriteTraceFile encodes accesses into the versioned trace format.
+	WriteTraceFile = workload.WriteTraceFile
+	// RoundRobinWorkloadMixes deals sources round-robin into n mixes of
+	// the given core count (the `hira-sim -trace` assignment rule).
+	RoundRobinWorkloadMixes = workload.RoundRobinMixes
 )
 
 // NewVirtualChip builds a virtual DDR4 chip directly for custom

@@ -32,13 +32,14 @@ type Memory interface {
 	Issue(req MemRequest) bool
 }
 
-// Core is one simulated processor core fed by a workload generator.
+// Core is one simulated processor core fed by a workload access stream
+// (a synthetic generator or a recorded trace player).
 type Core struct {
 	ID     int
 	Width  int // issue width per core cycle (4)
 	Window int // instruction window size (128)
 
-	gen *workload.Generator
+	gen workload.Stream
 	mem Memory
 
 	// Issue-side state.
@@ -69,7 +70,7 @@ type outstandingLoad struct {
 }
 
 // New returns a core reading from gen and issuing to mem.
-func New(id int, gen *workload.Generator, mem Memory) *Core {
+func New(id int, gen workload.Stream, mem Memory) *Core {
 	return &Core{ID: id, Width: 4, Window: 128, gen: gen, mem: mem}
 }
 

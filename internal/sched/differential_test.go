@@ -12,6 +12,7 @@ import (
 	"hira/internal/core"
 	"hira/internal/dram"
 	"hira/internal/sched"
+	"hira/internal/workload"
 )
 
 // diffOrg is small enough for fast runs but keeps multiple channels,
@@ -187,6 +188,136 @@ func TestControllerDifferential(t *testing.T) {
 				t.Fatalf("stats diverged:\nref: %+v\nopt: %+v", refStats, optStats)
 			}
 		})
+	}
+}
+
+// diffDriveSource replays a workload source's access stream against a
+// controller, approximating a 4-wide core: each tick spends up to four
+// instruction slots on the stream's gaps, then tries to enqueue the next
+// access through the MOP mapper. A rejected enqueue retries next tick
+// (exactly as the cpu model does), so each run's request schedule is a
+// deterministic function of its own controller's queue state — if ref
+// and opt diverge there, the acceptance comparison catches it.
+func diffDriveSource(t *testing.T, c *sched.Controller, org dram.Org, src workload.Source, seed uint64, ticks int) ([]dram.Command, []bool) {
+	t.Helper()
+	var cmds []dram.Command
+	c.CommandHook = func(cmd dram.Command) { cmds = append(cmds, cmd) }
+	var accepts []bool
+	stream := src.Stream(seed)
+	mapper := dram.NewMOPMapper(org)
+	gap := 0
+	var pending *workload.Access
+	tok := uint64(0)
+	for i := 0; i < ticks; i++ {
+		budget := 4
+		for budget > 0 {
+			if gap > 0 {
+				n := gap
+				if n > budget {
+					n = budget
+				}
+				gap -= n
+				budget -= n
+				continue
+			}
+			if pending == nil {
+				a := stream.Next()
+				pending = &a
+				// Compress gaps so even moderate-MPKI sources keep the
+				// queues busy enough to exercise drain/skip regimes.
+				gap = a.Gap / 8
+				continue
+			}
+			tok++
+			ok := c.Enqueue(sched.Request{
+				Loc: mapper.Map(pending.Addr), Write: pending.Write, Core: 0, Token: tok,
+			})
+			accepts = append(accepts, ok)
+			if !ok {
+				break // queue full: retry next tick
+			}
+			pending = nil
+			budget--
+		}
+		c.Tick()
+	}
+	// Drain with no further arrivals: refresh-only idle territory.
+	for i := 0; i < ticks/2; i++ {
+		c.Tick()
+	}
+	return cmds, accepts
+}
+
+// TestControllerDifferentialWorkloads re-proves the bit-identical
+// guarantee of the event-driven scheduler on the new workload paths:
+// request schedules derived from a user-defined custom profile and from
+// a recorded trace (replayed through the trace player), not just the
+// synthetic schedules of TestControllerDifferential.
+func TestControllerDifferentialWorkloads(t *testing.T) {
+	custom := workload.Profile{Name: "hot-random", MPKI: 80, RowLocality: 0.1, FootprintMB: 4, WriteFrac: 0.5}
+	if err := custom.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.Record("hot-random-rec", custom, 99, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamy := workload.Profile{Name: "streamy", MPKI: 30, RowLocality: 0.9, FootprintMB: 16, WriteFrac: 0.2}
+	sources := []struct {
+		name string
+		src  workload.Source
+	}{
+		{"custom-profile", custom},
+		{"custom-streamy", streamy},
+		{"trace", trace},
+	}
+
+	org := diffOrg()
+	tm := diffTiming()
+	ticks := 60000
+	if testing.Short() {
+		ticks = 20000
+	}
+	for _, pol := range diffPolicies() {
+		for _, s := range sources {
+			pol, s := pol, s
+			t.Run(pol.name+"/"+s.name, func(t *testing.T) {
+				t.Parallel()
+				run := func(reference bool) ([]dram.Command, []bool, sched.Stats) {
+					c, err := sched.NewController(
+						sched.Config{Org: org, Timing: tm, Reference: reference}, pol.mk(t, org, tm))
+					if err != nil {
+						t.Fatal(err)
+					}
+					cmds, accepts := diffDriveSource(t, c, org, s.src, 5, ticks)
+					return cmds, accepts, c.Stats
+				}
+				refCmds, refAcc, refStats := run(true)
+				optCmds, optAcc, optStats := run(false)
+				if len(refCmds) == 0 {
+					t.Fatal("reference run emitted no commands; the workload is not driving the controller")
+				}
+				if len(optCmds) != len(refCmds) {
+					t.Fatalf("command counts diverged: ref %d opt %d", len(refCmds), len(optCmds))
+				}
+				for i := range refCmds {
+					if optCmds[i] != refCmds[i] {
+						t.Fatalf("command %d diverged:\nref: %+v\nopt: %+v", i, refCmds[i], optCmds[i])
+					}
+				}
+				if len(optAcc) != len(refAcc) {
+					t.Fatalf("enqueue counts diverged: ref %d opt %d", len(refAcc), len(optAcc))
+				}
+				for i := range refAcc {
+					if optAcc[i] != refAcc[i] {
+						t.Fatalf("enqueue acceptance %d diverged: ref %v opt %v", i, refAcc[i], optAcc[i])
+					}
+				}
+				if optStats != refStats {
+					t.Fatalf("stats diverged:\nref: %+v\nopt: %+v", refStats, optStats)
+				}
+			})
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hira/internal/sim"
+	"hira/internal/workload"
 )
 
 // JobState is a job's position in its lifecycle.
@@ -74,6 +75,13 @@ type Event struct {
 
 // job is the server-side state behind a Job view.
 type job struct {
+	// mixes is the resolved custom workload set (traces loaded, names
+	// bound) when the spec carries a workloads object; nil runs builtin
+	// mixes. Set once at submission, read by the executing worker, and
+	// released (under mu) when the job finalizes so retained terminal
+	// jobs do not pin decoded traces.
+	mixes []workload.SourceMix
+
 	mu     sync.Mutex
 	view   Job
 	cancel context.CancelFunc // non-nil once running; also set for queued cancellation
@@ -159,6 +167,10 @@ func (j *job) start(cancel context.CancelFunc, now time.Time) bool {
 // waiter and subscriber.
 func (j *job) finish(state JobState, result json.RawMessage, stats *sim.EngineStats, errMsg string, now time.Time) {
 	j.mu.Lock()
+	// The resolved workloads (decoded trace accesses can be large) are
+	// only needed while executing; release them so retained terminal
+	// jobs pin just their result payloads.
+	j.mixes = nil
 	if j.cancelled {
 		// An acknowledged cancel (DELETE returned 200) always ends
 		// cancelled, even if the computation outran the cancellation.
@@ -193,6 +205,7 @@ func (j *job) requestCancel(now time.Time) bool {
 		return true
 	}
 	// Still queued: finalize immediately.
+	j.mixes = nil
 	j.view.State = StateCancelled
 	t := now
 	j.view.Finished = &t

@@ -13,6 +13,7 @@ import (
 	"hira/internal/charz"
 	"hira/internal/rowhammer"
 	"hira/internal/sim"
+	"hira/internal/workload"
 )
 
 // Config sizes a Server.
@@ -40,6 +41,10 @@ type Config struct {
 	// event stream and fell back to polling can still fetch the result;
 	// <= 0 means one minute.
 	RetainFor time.Duration
+	// TraceDir is the directory job specs' trace references (the
+	// workloads object's traces[].file entries) resolve against. Empty
+	// rejects trace-referencing specs.
+	TraceDir string
 	// Limits bounds individual job specs.
 	Limits Limits
 	// now overrides the clock in tests; nil means time.Now.
@@ -175,6 +180,7 @@ func (s *Server) execute(ctx context.Context, j *job) (json.RawMessage, *sim.Eng
 	case KindFig9, KindFig12, KindFig13, KindFig14, KindFig15, KindFig16:
 		var stats sim.EngineStats
 		opts := spec.Sim.options()
+		opts.Mixes = j.mixes
 		opts.Stats = &stats
 		opts.Progress = j.setProgress
 		res, err := s.lab.Figure(ctx, spec.Kind, opts, spec.Xs, spec.figureParams())
@@ -189,6 +195,7 @@ func (s *Server) execute(ctx context.Context, j *job) (json.RawMessage, *sim.Eng
 		}
 		var stats sim.EngineStats
 		opts := spec.Sim.options()
+		opts.Mixes = j.mixes
 		opts.Stats = &stats
 		opts.Progress = j.setProgress
 		scores, err := s.lab.RunPolicies(ctx, spec.Config.config(), policies, opts)
@@ -281,21 +288,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	// Admission pre-check before any trace I/O: a submission the queue
+	// would reject anyway must not pay file reads and hashing first.
+	// The same conditions are re-checked under the lock below, because a
+	// slot can fill while traces load.
+	if err := s.admit(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	if len(s.pending) >= s.cfg.QueueDepth {
+	// Resolve custom workloads at submission time: trace files load (and
+	// digest) once here, so a missing or corrupt trace is a 400 with a
+	// clear message rather than a failed job, and execution is purely
+	// deterministic over the resolved sources.
+	var mixes []workload.SourceMix
+	if spec.Workloads != nil {
+		var err error
+		if mixes, err = spec.Workloads.Resolve(s.cfg.TraceDir); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if err := s.admitLocked(); err != nil {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueDepth)
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	s.seq++
 	id := fmt.Sprintf("j%d", s.seq)
 	j := newJob(id, spec, s.cfg.now())
+	j.mixes = mixes
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.pending = append(s.pending, j)
@@ -303,6 +326,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.cond.Signal()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// admitLocked reports why a submission cannot be accepted right now
+// (shutdown or a full queue); nil admits. Callers hold s.mu.
+func (s *Server) admitLocked() error {
+	if s.closed {
+		return fmt.Errorf("server shutting down")
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		return fmt.Errorf("job queue full (%d queued)", s.cfg.QueueDepth)
+	}
+	return nil
+}
+
+// admit is admitLocked taking the lock itself.
+func (s *Server) admit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admitLocked()
 }
 
 // evictLocked drops the oldest terminal jobs once more than RetainJobs

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"hira/internal/sim"
+	"hira/internal/workload"
 )
 
 // testSpec is the laptop-scale Fig. 9-shaped job every e2e test submits.
@@ -189,6 +191,179 @@ func TestConcurrentColdJobsSimulateOnce(t *testing.T) {
 	rb, _ := jb.FigureResult()
 	if !reflect.DeepEqual(ra.Fig9, want) || !reflect.DeepEqual(rb.Fig9, want) {
 		t.Error("concurrent jobs returned rows differing from the reference")
+	}
+}
+
+// TestTraceWorkloadJobEndToEnd is the custom-workload acceptance path:
+// a trace recorded from a synthetic run replays byte-identically — the
+// same figure rows through the CLI code path (sim.Fig9 with explicit
+// mixes, exactly what `hira-sim -trace -json` runs) and through a
+// service job referencing the trace by file — and a warm resubmission
+// simulates zero cells.
+func TestTraceWorkloadJobEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	traceDir := t.TempDir()
+
+	// Record the trace the way `hira-sim -record` does.
+	mcf, err := workload.ProfileByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := workload.Record("t1.trace", mcf, 1, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteTraceFile(filepath.Join(traceDir, "t1.trace"), rec.Accesses()); err != nil {
+		t.Fatal(err)
+	}
+
+	// CLI-equivalent reference: load the file back and run the sweep
+	// with the same round-robin mix rule hira-sim -trace applies.
+	tr, err := workload.LoadTrace(filepath.Join(traceDir, "t1.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts()
+	opts.Mixes = workload.RoundRobinMixes([]workload.Source{tr}, 1, opts.Cores)
+	want, err := sim.Fig9(ctx, opts, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, client := newTestServer(t, Config{
+		Engine:   sim.EngineConfig{Parallelism: 4},
+		Workers:  2,
+		TraceDir: traceDir,
+	})
+	spec := testSpec()
+	spec.Workloads = &WorkloadsSpec{
+		Traces: []TraceSpec{{Name: "t1", File: "t1.trace"}},
+		Mixes:  [][]string{{"t1", "t1", "t1", "t1"}},
+	}
+	job, err := client.Run(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateDone {
+		t.Fatalf("trace job state = %s (%s)", job.State, job.Error)
+	}
+	res, err := job.FigureResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Fig9, want) {
+		t.Fatalf("trace-driven HTTP rows differ from the CLI code path:\nhttp: %+v\ncli:  %+v", res.Fig9, want)
+	}
+	if job.Stats == nil || job.Stats.Simulated == 0 {
+		t.Fatalf("cold trace job stats = %+v, want simulations", job.Stats)
+	}
+
+	// Warm resubmission: the trace's digest-based cell keys are stable,
+	// so nothing simulates again.
+	warm, err := client.Run(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.State != StateDone || warm.Stats.Simulated != 0 {
+		t.Fatalf("warm trace resubmission: state %s, simulated %d (want done, 0)",
+			warm.State, warm.Stats.Simulated)
+	}
+	wres, err := warm.FigureResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wres.Fig9, want) {
+		t.Error("warm trace resubmission changed rows")
+	}
+
+	// A builtin-mix run of the same shape must NOT share the trace run's
+	// cells (distinct workload identities).
+	builtin, err := client.Run(ctx, testSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builtin.Stats == nil || builtin.Stats.Simulated == 0 {
+		t.Fatalf("builtin-mix job was served from trace-workload cells: %+v", builtin.Stats)
+	}
+}
+
+// TestCustomProfileJob runs a "policies" job over an inline custom
+// profile mixed with a builtin benchmark and checks it against the
+// in-process result.
+func TestCustomProfileJob(t *testing.T) {
+	ctx := context.Background()
+	hot := workload.Profile{Name: "hot", MPKI: 50, RowLocality: 0.1, FootprintMB: 8, WriteFrac: 0.5}
+	mcf, _ := workload.ProfileByName("mcf")
+	opts := sim.Options{Cores: 2, Warmup: 2000, Measure: 6000, Seed: 1,
+		Mixes: []workload.SourceMix{{ID: 0, Sources: []workload.Source{mcf, hot}}}}
+	want, err := sim.RunPolicies(ctx, sim.DefaultConfig(), []sim.RefreshPolicy{sim.BaselinePolicy()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, client := newTestServer(t, Config{Workers: 1})
+	job, err := client.Run(ctx, JobSpec{
+		Kind:     KindPolicies,
+		Policies: []PolicySpec{{Type: "baseline"}},
+		Sim:      &SimSpec{Cores: 2, Warmup: 2000, Measure: 6000, Seed: 1},
+		Workloads: &WorkloadsSpec{
+			Mixes:    [][]string{{"mcf", "hot"}},
+			Profiles: []ProfileSpec{{Name: "hot", MPKI: 50, RowLocality: 0.1, FootprintMB: 8, WriteFrac: 0.5}},
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateDone {
+		t.Fatalf("job state = %s (%s)", job.State, job.Error)
+	}
+	var res PoliciesResult
+	if err := json.Unmarshal(job.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Policies, want) {
+		t.Fatalf("custom-profile HTTP scores differ from in-process:\nhttp: %+v\nwant: %+v", res.Policies, want)
+	}
+}
+
+// TestWorkloadSpecValidation covers the workloads-object 400 paths,
+// including trace references that must fail at submission, not as jobs.
+func TestWorkloadSpecValidation(t *testing.T) {
+	ctx := context.Background()
+	traceDir := t.TempDir()
+	_, client := newTestServer(t, Config{Workers: 1, TraceDir: traceDir})
+
+	wl := func(w WorkloadsSpec) JobSpec {
+		s := testSpec()
+		s.Workloads = &w
+		return s
+	}
+	cases := map[string]JobSpec{
+		"empty mixes":    wl(WorkloadsSpec{}),
+		"short mix":      wl(WorkloadsSpec{Mixes: [][]string{{"mcf"}}}),
+		"unknown name":   wl(WorkloadsSpec{Mixes: [][]string{{"mcf", "mcf", "mcf", "nope"}}}),
+		"builtin shadow": wl(WorkloadsSpec{Mixes: [][]string{{"mcf", "mcf", "mcf", "mcf"}}, Profiles: []ProfileSpec{{Name: "mcf", MPKI: 1, FootprintMB: 1}}}),
+		"bad profile":    wl(WorkloadsSpec{Mixes: [][]string{{"hot", "hot", "hot", "hot"}}, Profiles: []ProfileSpec{{Name: "hot", MPKI: -4, FootprintMB: 1}}}),
+		"path traversal": wl(WorkloadsSpec{Mixes: [][]string{{"t", "t", "t", "t"}}, Traces: []TraceSpec{{Name: "t", File: "../../etc/passwd"}}}),
+		"missing trace":  wl(WorkloadsSpec{Mixes: [][]string{{"t", "t", "t", "t"}}, Traces: []TraceSpec{{Name: "t", File: "absent.trace"}}}),
+		"workloads on area": func() JobSpec {
+			return JobSpec{Kind: KindArea, Workloads: &WorkloadsSpec{Mixes: [][]string{{"mcf"}}}}
+		}(),
+	}
+	for name, spec := range cases {
+		if _, err := client.Submit(ctx, spec); err == nil {
+			t.Errorf("%s: accepted, want 400", name)
+		} else if !strings.Contains(err.Error(), "invalid job spec") {
+			t.Errorf("%s: err %v, want invalid-job-spec 400", name, err)
+		}
+	}
+
+	// A trace reference against a server with no trace directory is a
+	// 400 too (not a failed job).
+	_, noTraces := newTestServer(t, Config{Workers: 1})
+	withTrace := wl(WorkloadsSpec{Mixes: [][]string{{"t", "t", "t", "t"}}, Traces: []TraceSpec{{Name: "t", File: "t.trace"}}})
+	if _, err := noTraces.Submit(ctx, withTrace); err == nil || !strings.Contains(err.Error(), "trace directory") {
+		t.Errorf("trace spec without TraceDir: err %v, want trace-directory 400", err)
 	}
 }
 

@@ -11,9 +11,13 @@ package service
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"hira/internal/charz"
 	"hira/internal/sim"
+	"hira/internal/workload"
 )
 
 // Kinds a JobSpec can request.
@@ -60,6 +64,52 @@ type JobSpec struct {
 	// Charz sizes kind "characterize"; nil characterizes all modules at
 	// reduced (laptop-scale) defaults.
 	Charz *CharzSpec `json:"charz,omitempty"`
+
+	// Workloads, for figure and policy kinds, replaces the builtin
+	// random SPEC mixes with an explicit workload set: named mixes over
+	// builtin benchmarks, inline custom profiles, and recorded traces
+	// from the server's trace directory. Nil keeps the builtin mixes.
+	Workloads *WorkloadsSpec `json:"workloads,omitempty"`
+}
+
+// WorkloadsSpec is the spec's custom-workload object. Every mix entry
+// names one workload per core; names resolve against Traces, then
+// Profiles, then the builtin SPEC CPU2006 benchmarks.
+type WorkloadsSpec struct {
+	// Mixes lists the multiprogrammed mixes to run: one workload name
+	// per core, exactly cores names per mix. Required, at least one.
+	Mixes [][]string `json:"mixes"`
+	// Profiles defines inline custom profiles addressable from Mixes.
+	Profiles []ProfileSpec `json:"profiles,omitempty"`
+	// Traces references recorded trace files (hira-sim -record) in the
+	// server's trace directory, addressable from Mixes by name.
+	Traces []TraceSpec `json:"traces,omitempty"`
+}
+
+// ProfileSpec is one inline custom workload profile.
+type ProfileSpec struct {
+	Name        string  `json:"name"`
+	MPKI        float64 `json:"mpki"`
+	RowLocality float64 `json:"row_locality"`
+	FootprintMB int     `json:"footprint_mb"`
+	WriteFrac   float64 `json:"write_frac"`
+}
+
+// profile converts the spec to a workload.Profile.
+func (p ProfileSpec) profile() workload.Profile {
+	return workload.Profile{
+		Name: p.Name, MPKI: p.MPKI, RowLocality: p.RowLocality,
+		FootprintMB: p.FootprintMB, WriteFrac: p.WriteFrac,
+	}
+}
+
+// TraceSpec references one recorded trace file by name.
+type TraceSpec struct {
+	// Name is how Mixes entries address the trace.
+	Name string `json:"name"`
+	// File is the trace's bare file name inside the server's trace
+	// directory (no path separators).
+	File string `json:"file"`
 }
 
 // SimSpec sizes a simulation sweep. Zero fields take sim.Options
@@ -112,6 +162,13 @@ type Limits struct {
 	MaxTicks     int `json:"max_ticks"`     // warmup+measure; default 10M
 	MaxGrid      int `json:"max_grid"`      // entries per axis; default 32
 	MaxPolicies  int `json:"max_policies"`  // default 32
+	// MaxTraces and MaxProfiles bound the workloads object's trace and
+	// inline-profile lists. Trace entries cost submission-time I/O (each
+	// distinct file is read and hashed once in the HTTP handler), so the
+	// trace cap also bounds how much disk a single POST can touch;
+	// defaults 16 and 64.
+	MaxTraces   int `json:"max_traces"`
+	MaxProfiles int `json:"max_profiles"`
 	// MaxTotalTicks bounds a job's estimated total simulation cost —
 	// sweep points x policies x workloads x (warmup+measure) — because
 	// per-axis caps alone still admit specs whose product is days of
@@ -135,10 +192,140 @@ func (l Limits) withDefaults() Limits {
 	if l.MaxPolicies == 0 {
 		l.MaxPolicies = 32
 	}
+	if l.MaxTraces == 0 {
+		l.MaxTraces = 16
+	}
+	if l.MaxProfiles == 0 {
+		l.MaxProfiles = 64
+	}
 	if l.MaxTotalTicks == 0 {
 		l.MaxTotalTicks = 100_000_000_000
 	}
 	return l
+}
+
+// Validate checks the workload object against the limits (zero fields
+// take defaults) and the sweep's effective core count. It is pure —
+// trace files are only referenced by name here and loaded by Resolve —
+// so the fuzzable validation path never touches the filesystem.
+// cmd/hira-sim reuses it for -workload-spec files, keeping CLI and
+// service acceptance identical.
+func (w *WorkloadsSpec) Validate(l Limits, cores int) error {
+	if w == nil {
+		return nil
+	}
+	l = l.withDefaults()
+	if len(w.Mixes) == 0 {
+		return fmt.Errorf("workloads needs at least one mix")
+	}
+	if len(w.Mixes) > l.MaxWorkloads {
+		return fmt.Errorf("%d workload mixes exceeds the limit of %d", len(w.Mixes), l.MaxWorkloads)
+	}
+	if len(w.Traces) > l.MaxTraces {
+		return fmt.Errorf("%d trace references exceeds the limit of %d", len(w.Traces), l.MaxTraces)
+	}
+	if len(w.Profiles) > l.MaxProfiles {
+		return fmt.Errorf("%d inline profiles exceeds the limit of %d", len(w.Profiles), l.MaxProfiles)
+	}
+	names := map[string]bool{}
+	defined := func(kind, name string) error {
+		if !workload.ValidName(name) {
+			return fmt.Errorf("bad %s name %q (want 1-64 chars of [A-Za-z0-9._-])", kind, name)
+		}
+		if names[name] {
+			return fmt.Errorf("duplicate workload name %q", name)
+		}
+		if _, err := workload.ProfileByName(name); err == nil {
+			return fmt.Errorf("%s name %q shadows a builtin benchmark; rename it", kind, name)
+		}
+		names[name] = true
+		return nil
+	}
+	for _, ts := range w.Traces {
+		if err := defined("trace", ts.Name); err != nil {
+			return err
+		}
+		// Reject both separator styles explicitly: filepath.Base alone
+		// would let backslashes through on non-Windows hosts.
+		if ts.File == "" || strings.ContainsAny(ts.File, `/\`) ||
+			ts.File != filepath.Base(ts.File) || ts.File == "." || ts.File == ".." {
+			return fmt.Errorf("trace %q: file %q must be a bare file name in the server's trace directory", ts.Name, ts.File)
+		}
+	}
+	for _, ps := range w.Profiles {
+		if err := defined("profile", ps.Name); err != nil {
+			return err
+		}
+		if err := ps.profile().Validate(); err != nil {
+			return err
+		}
+	}
+	for mi, mix := range w.Mixes {
+		if len(mix) != cores {
+			return fmt.Errorf("mix %d has %d workloads for %d cores", mi, len(mix), cores)
+		}
+		for _, name := range mix {
+			if names[name] {
+				continue
+			}
+			if _, err := workload.ProfileByName(name); err != nil {
+				return fmt.Errorf("mix %d: unknown workload %q (not a trace, custom profile, or builtin benchmark)", mi, name)
+			}
+		}
+	}
+	return nil
+}
+
+// Resolve loads the referenced traces from traceDir and builds the
+// per-core source mixes the sweep runs. Name resolution prefers traces,
+// then inline profiles, then builtin benchmarks — validate rejects
+// ambiguity up front, so the order never silently reinterprets a name.
+func (w *WorkloadsSpec) Resolve(traceDir string) ([]workload.SourceMix, error) {
+	byName := map[string]workload.Source{}
+	byFile := map[string]*workload.Trace{} // each distinct file loads once
+	for _, ts := range w.Traces {
+		if traceDir == "" {
+			return nil, fmt.Errorf("spec references trace %q but the server has no trace directory", ts.Name)
+		}
+		file := filepath.Base(ts.File)
+		if tr, ok := byFile[file]; ok {
+			byName[ts.Name] = tr
+			continue
+		}
+		f, err := os.Open(filepath.Join(traceDir, file))
+		if err != nil {
+			// Report the bare file name, not the wrapped error: the
+			// message reaches HTTP clients and must not leak the
+			// server's trace-directory path.
+			return nil, fmt.Errorf("trace %q: cannot open file %q in the trace directory", ts.Name, file)
+		}
+		tr, err := workload.ReadTrace(ts.Name, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trace %q (%s): %w", ts.Name, ts.File, err)
+		}
+		byFile[file] = tr
+		byName[ts.Name] = tr
+	}
+	for _, ps := range w.Profiles {
+		byName[ps.Name] = ps.profile()
+	}
+	mixes := make([]workload.SourceMix, len(w.Mixes))
+	for mi, mix := range w.Mixes {
+		mixes[mi] = workload.SourceMix{ID: mi, Sources: make([]workload.Source, len(mix))}
+		for c, name := range mix {
+			src, ok := byName[name]
+			if !ok {
+				p, err := workload.ProfileByName(name)
+				if err != nil {
+					return nil, fmt.Errorf("mix %d: %w", mi, err)
+				}
+				src = p
+			}
+			mixes[mi].Sources[c] = src
+		}
+	}
+	return mixes, nil
 }
 
 // figureKinds maps a figure kind to which grids it consumes.
@@ -182,6 +369,9 @@ func (spec JobSpec) Validate(l Limits) error {
 		if err := spec.Sim.validate(l); err != nil {
 			return err
 		}
+		if err := spec.Workloads.Validate(l, spec.Sim.options().WithDefaults().Cores); err != nil {
+			return err
+		}
 		return spec.validateCost(l)
 	case KindPolicies:
 		if len(spec.Policies) == 0 {
@@ -206,16 +396,19 @@ func (spec JobSpec) Validate(l Limits) error {
 		if err := spec.Sim.validate(l); err != nil {
 			return err
 		}
+		if err := spec.Workloads.Validate(l, spec.Sim.options().WithDefaults().Cores); err != nil {
+			return err
+		}
 		return spec.validateCost(l)
 	case KindCharacterize:
 		if spec.Sim != nil || spec.Capacities != nil || spec.NRHs != nil || spec.Xs != nil ||
-			spec.Policies != nil || spec.Config != nil {
+			spec.Policies != nil || spec.Config != nil || spec.Workloads != nil {
 			return fmt.Errorf("characterize takes only the charz block")
 		}
 		return spec.Charz.validate()
 	case KindSecurity, KindArea:
 		if spec.Sim != nil || spec.Capacities != nil || spec.NRHs != nil || spec.Xs != nil ||
-			spec.Policies != nil || spec.Config != nil || spec.Charz != nil {
+			spec.Policies != nil || spec.Config != nil || spec.Charz != nil || spec.Workloads != nil {
 			return fmt.Errorf("%s takes no parameters", spec.Kind)
 		}
 		return nil
@@ -253,6 +446,10 @@ func (spec JobSpec) validateCost(l Limits) error {
 		return nil
 	}
 	o := spec.Sim.options().WithDefaults()
+	if spec.Workloads != nil {
+		// An explicit workload set replaces the builtin mixes.
+		o.Workloads = len(spec.Workloads.Mixes)
+	}
 	cost := points * policies * int64(o.Workloads) * int64(o.Warmup+o.Measure)
 	if cost > l.MaxTotalTicks {
 		return fmt.Errorf("estimated cost %d ticks (%d sweep points x %d policies x %d workloads x %d ticks/run) exceeds the limit of %d; shrink the grids, workloads, or tick counts",

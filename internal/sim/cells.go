@@ -30,21 +30,18 @@ type CellResult struct {
 // experimentEngine is the engine instantiation every sweep runs on.
 type experimentEngine = engine.Engine[CellResult]
 
-// profileKey encodes a workload profile's full parameter set, not just
-// its name, so tuning a benchmark's characterization (MPKI etc.)
-// invalidates stored cells instead of silently serving stale results.
-func profileKey(p workload.Profile) string {
-	return fmt.Sprintf("%s(%g,%g,%d,%g)", p.Name, p.MPKI, p.RowLocality, p.FootprintMB, p.WriteFrac)
-}
-
 // simCellKey names a full-system simulation cell. It encodes every input
 // NewSystem and Run consume: system shape, refresh policy behavior
 // (mode fields, not the display name, so identically configured policies
-// share a cell), per-core workload profiles, seed, and tick counts.
-func simCellKey(cfg Config, mix workload.Mix, warmup, measure int) string {
-	profiles := make([]string, len(mix.Profiles))
-	for i, p := range mix.Profiles {
-		profiles[i] = profileKey(p)
+// share a cell), per-core workload identities (a profile's full
+// parameter set or a trace's content digest — see workload.Source.Key,
+// which guarantees distinct workloads never alias), seed, and tick
+// counts. Builtin-profile keys are byte-identical to the pre-Source
+// encoding, so existing result stores stay warm.
+func simCellKey(cfg Config, mix workload.SourceMix, warmup, measure int) string {
+	wl := make([]string, len(mix.Sources))
+	for i, s := range mix.Sources {
+		wl[i] = s.Key()
 	}
 	cov := cfg.SPTCoverage
 	if cov == 0 {
@@ -54,11 +51,11 @@ func simCellKey(cfg Config, mix workload.Mix, warmup, measure int) string {
 		"sim/v2 cores=%d cap=%d ch=%d rk=%d spt=%g seed=%d per=%d prev=%d slack=%d nrh=%d warm=%d meas=%d wl=%s",
 		cfg.Cores, cfg.ChipCapacityGbit, cfg.Channels, cfg.Ranks, cov, cfg.Seed,
 		cfg.Policy.Periodic, cfg.Policy.Preventive, cfg.Policy.SlackTRC, cfg.Policy.NRH,
-		warmup, measure, strings.Join(profiles, ","))
+		warmup, measure, strings.Join(wl, ","))
 }
 
 // simCell builds the cell that simulates one (config, policy, mix) point.
-func simCell(cfg Config, mix workload.Mix, warmup, measure int) engine.Cell[CellResult] {
+func simCell(cfg Config, mix workload.SourceMix, warmup, measure int) engine.Cell[CellResult] {
 	return engine.Cell[CellResult]{
 		Key: simCellKey(cfg, mix, warmup, measure),
 		Run: func(ctx context.Context) (CellResult, error) {
@@ -81,17 +78,17 @@ func simCell(cfg Config, mix workload.Mix, warmup, measure int) engine.Cell[Cell
 }
 
 // aloneCellKey names an alone-IPC reference cell.
-func aloneCellKey(p workload.Profile, seed uint64, ticks int) string {
-	return fmt.Sprintf("alone/v2 wl=%s seed=%d ticks=%d", profileKey(p), seed, ticks)
+func aloneCellKey(src workload.Source, seed uint64, ticks int) string {
+	return fmt.Sprintf("alone/v2 wl=%s seed=%d ticks=%d", src.Key(), seed, ticks)
 }
 
-// aloneCell builds the cell that computes one benchmark's alone-IPC
+// aloneCell builds the cell that computes one workload's alone-IPC
 // reference for weighted speedup.
-func aloneCell(p workload.Profile, seed uint64, ticks int) engine.Cell[CellResult] {
+func aloneCell(src workload.Source, seed uint64, ticks int) engine.Cell[CellResult] {
 	return engine.Cell[CellResult]{
-		Key: aloneCellKey(p, seed, ticks),
+		Key: aloneCellKey(src, seed, ticks),
 		Run: func(ctx context.Context) (CellResult, error) {
-			alone, err := AloneIPCContext(ctx, p, seed, ticks)
+			alone, err := AloneIPCSourceContext(ctx, src, seed, ticks)
 			if err != nil {
 				return CellResult{}, err
 			}

@@ -62,8 +62,15 @@ func AloneIPC(p workload.Profile, seed uint64, ticks int) float64 {
 // AloneIPCContext is AloneIPC honoring cancellation: it polls ctx every
 // few thousand ticks and returns ctx.Err() once cancelled.
 func AloneIPCContext(ctx context.Context, p workload.Profile, seed uint64, ticks int) (float64, error) {
+	return AloneIPCSourceContext(ctx, p, seed, ticks)
+}
+
+// AloneIPCSourceContext computes the alone-IPC reference for any
+// workload source (profile or trace) on the unloaded fixed-latency
+// memory.
+func AloneIPCSourceContext(ctx context.Context, src workload.Source, seed uint64, ticks int) (float64, error) {
 	mem := &aloneMemory{latencyTicks: 72, llc: cache.MustNew(8<<20, 8, 64)}
-	gen := workload.NewGenerator(p, seed)
+	gen := src.Stream(seed)
 	c := cpu.New(0, gen, mem)
 	mem.c = c
 	budget := 0.0
@@ -90,6 +97,17 @@ func aloneSeed(baseSeed uint64, core int) uint64 {
 	return baseSeed*1000003 + uint64(core)*7919 + 11
 }
 
+// aloneRefSeed is aloneSeed canonicalized for seed-invariant sources:
+// a trace replays identically on every core, so keying its alone cell
+// by the per-core seed would simulate and store one identical cell per
+// core it appears on.
+func aloneRefSeed(src workload.Source, baseSeed uint64, core int) uint64 {
+	if si, ok := src.(workload.SeedInvariant); ok && si.SeedInvariant() {
+		return 0
+	}
+	return aloneSeed(baseSeed, core)
+}
+
 // Options sizes an experiment sweep. The paper runs 125 mixes of 200M
 // instructions; defaults here are laptop-scale and flag-adjustable in
 // cmd/hira-sim.
@@ -99,6 +117,13 @@ type Options struct {
 	Warmup    int // warmup memory ticks (default 30000)
 	Measure   int // measured memory ticks (default 120000)
 	Seed      uint64
+
+	// Mixes, when non-nil, is the explicit workload set the sweep runs —
+	// custom profiles, recorded traces, or any workload.Source per core —
+	// instead of Workloads builtin SPEC mixes drawn from Seed. Every mix
+	// must have exactly Cores sources; Workloads is ignored (it reports
+	// as len(Mixes) after WithDefaults).
+	Mixes []workload.SourceMix
 
 	// Parallelism bounds the experiment engine's worker pool; 0 means
 	// one worker per CPU core. Results are bit-identical at any setting
@@ -122,6 +147,9 @@ type Options struct {
 func (o Options) WithDefaults() Options { return o.withDefaults() }
 
 func (o Options) withDefaults() Options {
+	if o.Mixes != nil {
+		o.Workloads = len(o.Mixes)
+	}
 	if o.Workloads == 0 {
 		o.Workloads = 4
 	}
@@ -215,25 +243,56 @@ func (e *Engine) RunPolicies(ctx context.Context, base Config, policies []Refres
 	return runPolicies(ctx, e.eng, base, policies, opts.withDefaults())
 }
 
+// sourceMixes returns the workload set a sweep runs: opts.Mixes when the
+// caller supplied explicit sources, else Workloads builtin SPEC mixes
+// drawn deterministically from Seed. opts must already have defaults
+// applied.
+func (o Options) sourceMixes() ([]workload.SourceMix, error) {
+	if o.Mixes == nil {
+		if o.Workloads < 1 || o.Cores < 1 {
+			return nil, fmt.Errorf("sim: %d workloads x %d cores is not a sweep", o.Workloads, o.Cores)
+		}
+		ms := workload.Mixes(o.Workloads, o.Cores, o.Seed)
+		out := make([]workload.SourceMix, len(ms))
+		for i := range ms {
+			out[i] = ms[i].Sources()
+		}
+		return out, nil
+	}
+	if len(o.Mixes) == 0 {
+		return nil, fmt.Errorf("sim: options.Mixes is empty; nil means builtin mixes")
+	}
+	for _, m := range o.Mixes {
+		if len(m.Sources) != o.Cores {
+			return nil, fmt.Errorf("sim: %s has %d workloads for %d cores", m, len(m.Sources), o.Cores)
+		}
+	}
+	return o.Mixes, nil
+}
+
 // runPolicies submits one batch to eng: the alone-IPC reference cells the
 // mixes need, plus one simulation cell per (policy, mix), then assembles
 // weighted speedups from the resolved results. opts must already have
 // defaults applied.
 func runPolicies(ctx context.Context, eng *experimentEngine, base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
-	mixes := workload.Mixes(opts.Workloads, opts.Cores, opts.Seed)
+	mixes, err := opts.sourceMixes()
+	if err != nil {
+		return nil, err
+	}
 
 	var cells []engine.Cell[CellResult]
 	aloneIdx := map[string]int{}           // alone cell key -> index into cells
 	aloneRefs := make([][]int, len(mixes)) // mix -> core -> index into cells
 	for mi, mix := range mixes {
-		aloneRefs[mi] = make([]int, len(mix.Profiles))
-		for c, p := range mix.Profiles {
-			key := aloneCellKey(p, aloneSeed(opts.Seed, c), opts.Measure)
+		aloneRefs[mi] = make([]int, len(mix.Sources))
+		for c, src := range mix.Sources {
+			seed := aloneRefSeed(src, opts.Seed, c)
+			key := aloneCellKey(src, seed, opts.Measure)
 			idx, ok := aloneIdx[key]
 			if !ok {
 				idx = len(cells)
 				aloneIdx[key] = idx
-				cells = append(cells, aloneCell(p, aloneSeed(opts.Seed, c), opts.Measure))
+				cells = append(cells, aloneCell(src, seed, opts.Measure))
 			}
 			aloneRefs[mi][c] = idx
 		}

@@ -25,7 +25,7 @@ func TestRunMatchesTickByTick(t *testing.T) {
 	if testing.Short() {
 		warmup, measure = 1000, 6000
 	}
-	mix := workload.Mixes(1, 8, 3)[0]
+	mix := workload.Mixes(1, 8, 3)[0].Sources()
 	for _, pol := range policies {
 		pol := pol
 		t.Run(pol.Name, func(t *testing.T) {

@@ -28,7 +28,7 @@ func TestAloneIPCOrdering(t *testing.T) {
 
 func TestSystemRunsAndProducesIPC(t *testing.T) {
 	cfg := DefaultConfig()
-	mix := workload.Mixes(1, 8, 1)[0]
+	mix := workload.Mixes(1, 8, 1)[0].Sources()
 	sys, err := NewSystem(cfg, mix)
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +50,7 @@ func TestSystemRunsAndProducesIPC(t *testing.T) {
 func TestSystemDeterminism(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Policy = HiRAPeriodicPolicy(2)
-	mix := workload.Mixes(1, 8, 1)[0]
+	mix := workload.Mixes(1, 8, 1)[0].Sources()
 	run := func() Result {
 		sys, err := NewSystem(cfg, mix)
 		if err != nil {
@@ -210,7 +210,7 @@ func TestPolicyConstructors(t *testing.T) {
 
 func TestNewSystemValidation(t *testing.T) {
 	cfg := DefaultConfig()
-	mix := workload.Mixes(1, 4, 1)[0] // 4 profiles for 8 cores
+	mix := workload.Mixes(1, 4, 1)[0].Sources() // 4 workloads for 8 cores
 	if _, err := NewSystem(cfg, mix); err == nil {
 		t.Error("accepted mix/core mismatch")
 	}

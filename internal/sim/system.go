@@ -202,10 +202,12 @@ func scaledRows(base, capacityGbit int) int {
 	return n
 }
 
-// NewSystem builds the system for a mix of per-core workloads.
-func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
-	if len(mix.Profiles) != cfg.Cores {
-		return nil, fmt.Errorf("sim: mix has %d profiles for %d cores", len(mix.Profiles), cfg.Cores)
+// NewSystem builds the system for a mix of per-core workload sources
+// (builtin or custom profiles, recorded traces — anything implementing
+// workload.Source).
+func NewSystem(cfg Config, mix workload.SourceMix) (*System, error) {
+	if len(mix.Sources) != cfg.Cores {
+		return nil, fmt.Errorf("sim: mix has %d workloads for %d cores", len(mix.Sources), cfg.Cores)
 	}
 	// The capacity sweep scales refresh work the way the paper's
 	// Expression 1 scales it for the baseline: tRFC = 110·C^0.6, i.e.
@@ -266,7 +268,7 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 		blocked:   make([]bool, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		gen := workload.NewGenerator(mix.Profiles[i], aloneSeed(cfg.Seed, i))
+		gen := mix.Sources[i].Stream(aloneSeed(cfg.Seed, i))
 		c := cpu.New(i, gen, &coreMemory{s: s, core: i})
 		s.cores = append(s.cores, c)
 	}

@@ -1,0 +1,221 @@
+package workload
+
+// A trace is a recorded access stream replayed deterministically — the
+// third Source kind besides builtin and custom profiles. The on-disk
+// format (version 1) is compact and versioned:
+//
+//	magic   "HIRATRC1" (8 bytes; the trailing digit is the version)
+//	count   uvarint — number of accesses, >= 1
+//	records count ×:
+//	  head  uvarint — gap<<1 | writeBit
+//	  delta varint  — signed address delta from the previous access
+//	                  (the first record's delta is from address 0)
+//
+// Sequential streams therefore cost ~3 bytes per access. A trace's
+// identity is the SHA-256 of its encoded bytes, so engine cell keys are
+// content-addressed: renaming a file changes nothing, flipping one byte
+// yields a distinct workload.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// traceMagic identifies version 1 of the trace format.
+const traceMagic = "HIRATRC1"
+
+// maxTraceBytes bounds how much ReadTrace will buffer, so a mislabeled
+// or hostile input cannot exhaust memory (64 MiB holds ~20M accesses).
+const maxTraceBytes = 64 << 20
+
+// maxTraceGap bounds one record's instruction gap; larger values can
+// only come from corruption (a 2^31-instruction gap is ~0.5s of
+// silence), and the bound keeps int(gap) safe on 32-bit platforms.
+const maxTraceGap = 1<<31 - 1
+
+// Trace is a recorded access stream. It implements Source: the key is
+// the SHA-256 digest of the encoded bytes, and Stream replays the
+// accesses in a loop (a simulation run is tick-bounded, not
+// access-bounded, so the trace wraps around when exhausted), ignoring
+// the seed.
+type Trace struct {
+	name     string
+	accesses []Access
+	digest   string
+}
+
+// Key implements Source: content-addressed, name-independent.
+func (t *Trace) Key() string { return "trace@sha256:" + t.digest }
+
+// Label implements Source.
+func (t *Trace) Label() string { return t.name }
+
+// Stream implements Source: deterministic looping playback; seed is
+// ignored because the trace already fixes every access.
+func (t *Trace) Stream(seed uint64) Stream { return &tracePlayer{accesses: t.accesses} }
+
+// SeedInvariant marks the trace's stream as identical for every seed,
+// letting experiment layers canonicalize the seed in content keys.
+func (t *Trace) SeedInvariant() bool { return true }
+
+// Digest returns the hex SHA-256 of the trace's encoded bytes.
+func (t *Trace) Digest() string { return t.digest }
+
+// Len returns the number of recorded accesses.
+func (t *Trace) Len() int { return len(t.accesses) }
+
+// Accesses returns the recorded accesses; callers must not mutate them.
+func (t *Trace) Accesses() []Access { return t.accesses }
+
+// tracePlayer replays a trace's accesses in order, wrapping around.
+type tracePlayer struct {
+	accesses []Access
+	pos      int
+}
+
+func (p *tracePlayer) Next() Access {
+	a := p.accesses[p.pos]
+	p.pos++
+	if p.pos == len(p.accesses) {
+		p.pos = 0
+	}
+	return a
+}
+
+// EncodeTrace serializes accesses into the version-1 trace format.
+func EncodeTrace(accesses []Access) ([]byte, error) {
+	if len(accesses) == 0 {
+		return nil, fmt.Errorf("workload: refusing to encode an empty trace")
+	}
+	var buf bytes.Buffer
+	buf.WriteString(traceMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(accesses)))])
+	prev := uint64(0)
+	for i, a := range accesses {
+		if a.Gap < 0 || a.Gap > maxTraceGap {
+			return nil, fmt.Errorf("workload: access %d has gap %d outside [0, %d]", i, a.Gap, maxTraceGap)
+		}
+		head := uint64(a.Gap) << 1
+		if a.Write {
+			head |= 1
+		}
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], head)])
+		buf.Write(tmp[:binary.PutVarint(tmp[:], int64(a.Addr-prev))])
+		prev = a.Addr
+	}
+	return buf.Bytes(), nil
+}
+
+// NewTrace builds an in-memory trace (digest included) from accesses.
+func NewTrace(name string, accesses []Access) (*Trace, error) {
+	data, err := EncodeTrace(accesses)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTrace(name, data)
+}
+
+// Record captures the first n accesses of src's stream under seed as a
+// trace. Replaying the trace reproduces the recorded run exactly: the
+// player emits byte-identical accesses in the same order.
+func Record(name string, src Source, seed uint64, n int) (*Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: cannot record %d accesses", n)
+	}
+	s := src.Stream(seed)
+	accesses := make([]Access, n)
+	for i := range accesses {
+		accesses[i] = s.Next()
+	}
+	return NewTrace(name, accesses)
+}
+
+// DecodeTrace parses version-1 trace bytes. Corrupt or truncated input
+// errors cleanly: allocation is bounded by the input length (a lying
+// count cannot balloon memory), gaps are bounded, and trailing garbage
+// is rejected so the digest always covers exactly the decoded records.
+func DecodeTrace(name string, data []byte) (*Trace, error) {
+	if len(data) < len(traceMagic) || string(data[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("workload: not a %s trace", traceMagic)
+	}
+	rest := data[len(traceMagic):]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: trace truncated in access count")
+	}
+	rest = rest[n:]
+	if count < 1 {
+		return nil, fmt.Errorf("workload: trace declares %d accesses, want >= 1", count)
+	}
+	// Each record takes at least two bytes, so a valid count can never
+	// exceed half the remaining input; reject early instead of looping.
+	if count > uint64(len(rest))/2 {
+		return nil, fmt.Errorf("workload: trace declares %d accesses but carries %d bytes", count, len(rest))
+	}
+	accesses := make([]Access, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		head, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("workload: trace truncated in record %d", i)
+		}
+		rest = rest[n:]
+		delta, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("workload: trace truncated in record %d address", i)
+		}
+		rest = rest[n:]
+		gap := head >> 1
+		if gap > maxTraceGap {
+			return nil, fmt.Errorf("workload: record %d gap %d exceeds %d", i, gap, maxTraceGap)
+		}
+		prev += uint64(delta)
+		accesses = append(accesses, Access{Addr: prev, Write: head&1 == 1, Gap: int(gap)})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("workload: %d trailing bytes after the last record", len(rest))
+	}
+	sum := sha256.Sum256(data)
+	if name == "" {
+		name = "trace"
+	}
+	return &Trace{name: name, accesses: accesses, digest: hex.EncodeToString(sum[:])}, nil
+}
+
+// ReadTrace decodes a trace from r, refusing inputs over 64 MiB.
+func ReadTrace(name string, r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxTraceBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	if len(data) > maxTraceBytes {
+		return nil, fmt.Errorf("workload: trace exceeds the %d-byte limit", maxTraceBytes)
+	}
+	return DecodeTrace(name, data)
+}
+
+// LoadTrace reads a trace file; the trace's name is the file's base name.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(filepath.Base(path), f)
+}
+
+// WriteTraceFile encodes accesses and writes them to path.
+func WriteTraceFile(path string, accesses []Access) error {
+	data, err := EncodeTrace(accesses)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,13 +1,49 @@
-// Package workload generates synthetic memory-access traces standing in
-// for the paper's SPEC CPU2006 workloads (§7). Each benchmark is described
-// by a profile — memory intensity (misses per kilo-instruction), row
-// locality, footprint, and write fraction — drawn from published
-// characterizations; traces are deterministic given (profile, seed), and
-// the 125 random 8-core multiprogrammed mixes of the paper are
-// reproducible from a single seed.
+// Package workload supplies the memory-access streams that drive the
+// simulated cores. Workloads are first-class, pluggable Sources with a
+// content identity: the synthetic profile generator standing in for the
+// paper's SPEC CPU2006 benchmarks (§7), user-defined Profiles with
+// arbitrary intensity/locality/footprint/write-fraction parameters, and
+// recorded access traces replayed deterministically from a compact
+// versioned binary format (trace.go). Streams are deterministic given
+// (source, seed) — traces replay identically for every seed — and the
+// 125 random 8-core multiprogrammed mixes of the paper are reproducible
+// from a single seed.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
+
+// Stream is a deterministic, endless access stream driving one core.
+type Stream interface {
+	// Next returns the next access of the stream.
+	Next() Access
+}
+
+// SeedInvariant is optionally implemented by sources whose stream is
+// identical for every seed (recorded traces). Experiment layers may
+// canonicalize the seed in such a source's content keys, so the same
+// trace dealt to several cores shares one reference cell instead of
+// simulating per-core copies.
+type SeedInvariant interface {
+	SeedInvariant() bool
+}
+
+// Source is one workload a simulated core can run.
+type Source interface {
+	// Key is the source's full content identity — every parameter or
+	// byte the stream depends on. Experiment cells hash it, so two
+	// sources that could ever produce different streams must have
+	// distinct keys, and equal keys must replay identical streams.
+	Key() string
+	// Label is a short display name for reports.
+	Label() string
+	// Stream returns the source's access stream. Synthetic sources seed
+	// their randomness from seed; recorded traces ignore it and replay
+	// the same accesses for every seed.
+	Stream(seed uint64) Stream
+}
 
 // Profile characterizes the memory behaviour of one benchmark.
 type Profile struct {
@@ -71,6 +107,58 @@ func ProfileByName(name string) (Profile, error) {
 		}
 	}
 	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Key implements Source: the profile's full parameter set, not just its
+// name, so tuning a benchmark's characterization (MPKI etc.) yields a
+// distinct workload identity instead of silently aliasing the old one.
+func (p Profile) Key() string {
+	return fmt.Sprintf("%s(%g,%g,%d,%g)", p.Name, p.MPKI, p.RowLocality, p.FootprintMB, p.WriteFrac)
+}
+
+// Label implements Source.
+func (p Profile) Label() string { return p.Name }
+
+// Stream implements Source with a fresh synthetic generator.
+func (p Profile) Stream(seed uint64) Stream { return NewGenerator(p, seed) }
+
+// ValidName reports whether a workload name is usable in specs and keys:
+// non-empty, at most 64 bytes, and limited to letters, digits, and
+// [._-] (so names never collide with key syntax or file paths).
+func ValidName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks a user-supplied profile's parameters. Builtin profiles
+// all pass; custom profiles from specs or flags must before use.
+func (p Profile) Validate() error {
+	if !ValidName(p.Name) {
+		return fmt.Errorf("workload: bad profile name %q (want 1-64 chars of [A-Za-z0-9._-])", p.Name)
+	}
+	if p.MPKI <= 0 || p.MPKI > 1000 {
+		return fmt.Errorf("workload: profile %s: mpki %g outside (0, 1000]", p.Name, p.MPKI)
+	}
+	if p.RowLocality < 0 || p.RowLocality > 1 {
+		return fmt.Errorf("workload: profile %s: row locality %g outside [0, 1]", p.Name, p.RowLocality)
+	}
+	if p.FootprintMB < 1 || p.FootprintMB > 1<<16 {
+		return fmt.Errorf("workload: profile %s: footprint %d MB outside [1, 65536]", p.Name, p.FootprintMB)
+	}
+	if p.WriteFrac < 0 || p.WriteFrac > 1 {
+		return fmt.Errorf("workload: profile %s: write fraction %g outside [0, 1]", p.Name, p.WriteFrac)
+	}
+	return nil
 }
 
 // Access is one memory access of a trace.
@@ -187,4 +275,79 @@ func Mixes(n, cores int, seed uint64) []Mix {
 		out[i] = m
 	}
 	return out
+}
+
+// SourceMix is one multiprogrammed workload over arbitrary sources: a
+// Source per core. It generalizes Mix beyond builtin profiles to custom
+// profiles and recorded traces.
+type SourceMix struct {
+	ID      int
+	Sources []Source
+}
+
+// String lists the mix's source labels.
+func (m SourceMix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mix%03d[", m.ID)
+	for i, s := range m.Sources {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.Label())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Sources converts a profile mix into the general source form.
+func (m Mix) Sources() SourceMix {
+	out := SourceMix{ID: m.ID, Sources: make([]Source, len(m.Profiles))}
+	for i, p := range m.Profiles {
+		out.Sources[i] = p
+	}
+	return out
+}
+
+// RoundRobinMixes builds n mixes of cores sources each by dealing srcs
+// round-robin across cores and mixes: mix i, core j runs
+// srcs[(i*cores+j) % len(srcs)]. The rule is part of the CLI/service
+// contract — `hira-sim -trace` and clients that expand trace lists into
+// explicit spec mixes (RoundRobinNames) assign identically so their
+// sweeps share engine cells. Non-positive counts or an empty source
+// list yield nil.
+func RoundRobinMixes(srcs []Source, n, cores int) []SourceMix {
+	if len(srcs) == 0 || n < 1 || cores < 1 {
+		return nil
+	}
+	out := make([]SourceMix, n)
+	for i := range out {
+		out[i] = SourceMix{ID: i, Sources: make([]Source, cores)}
+		for j := 0; j < cores; j++ {
+			out[i].Sources[j] = srcs[roundRobinIndex(i, j, cores, len(srcs))]
+		}
+	}
+	return out
+}
+
+// RoundRobinNames is RoundRobinMixes' deal rule over workload names —
+// the form clients use when expanding a trace list into explicit
+// service spec mixes. Both functions share roundRobinIndex, so the two
+// expansions can never drift apart.
+func RoundRobinNames(names []string, n, cores int) [][]string {
+	if len(names) == 0 || n < 1 || cores < 1 {
+		return nil
+	}
+	out := make([][]string, n)
+	for i := range out {
+		out[i] = make([]string, cores)
+		for j := 0; j < cores; j++ {
+			out[i][j] = names[roundRobinIndex(i, j, cores, len(names))]
+		}
+	}
+	return out
+}
+
+// roundRobinIndex is the single source of truth for the deal rule.
+func roundRobinIndex(mix, core, cores, n int) int {
+	return (mix*cores + core) % n
 }

@@ -152,6 +152,100 @@ func TestMixesDeterministicAndSized(t *testing.T) {
 	}
 }
 
+func TestProfileValidate(t *testing.T) {
+	for _, p := range SPEC2006Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("builtin %s fails validation: %v", p.Name, err)
+		}
+	}
+	bad := []Profile{
+		{Name: "", MPKI: 1, FootprintMB: 1},
+		{Name: "has space", MPKI: 1, FootprintMB: 1},
+		{Name: "x/y", MPKI: 1, FootprintMB: 1},
+		{Name: "ok", MPKI: 0, FootprintMB: 1},
+		{Name: "ok", MPKI: 2000, FootprintMB: 1},
+		{Name: "ok", MPKI: 1, FootprintMB: 0},
+		{Name: "ok", MPKI: 1, FootprintMB: 1, RowLocality: 1.5},
+		{Name: "ok", MPKI: 1, FootprintMB: 1, WriteFrac: -0.1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %+v passed validation", p)
+		}
+	}
+}
+
+// TestProfileSourceKeyDistinguishesEveryField: the satellite aliasing
+// guarantee at the source level — perturbing any single profile field
+// changes the content key.
+func TestProfileSourceKeyDistinguishesEveryField(t *testing.T) {
+	base := Profile{Name: "w", MPKI: 10, RowLocality: 0.5, FootprintMB: 64, WriteFrac: 0.25}
+	variants := []Profile{base, base, base, base, base}
+	variants[0].Name = "w2"
+	variants[1].MPKI = 10.5
+	variants[2].RowLocality = 0.51
+	variants[3].FootprintMB = 65
+	variants[4].WriteFrac = 0.26
+	for i, v := range variants {
+		if v.Key() == base.Key() {
+			t.Errorf("variant %d key %q aliases the base", i, v.Key())
+		}
+	}
+}
+
+func TestRoundRobinMixes(t *testing.T) {
+	a, _ := ProfileByName("mcf")
+	b, _ := ProfileByName("lbm")
+	ms := RoundRobinMixes([]Source{a, b}, 2, 3)
+	want := [][]string{{"mcf", "lbm", "mcf"}, {"lbm", "mcf", "lbm"}}
+	for i, m := range ms {
+		for j, s := range m.Sources {
+			if s.Label() != want[i][j] {
+				t.Fatalf("mix %d core %d = %s, want %s", i, j, s.Label(), want[i][j])
+			}
+		}
+	}
+	if RoundRobinMixes(nil, 2, 3) != nil {
+		t.Error("empty source list produced mixes")
+	}
+	if RoundRobinMixes([]Source{a}, -1, 3) != nil || RoundRobinMixes([]Source{a}, 2, -1) != nil {
+		t.Error("non-positive counts produced mixes instead of nil")
+	}
+}
+
+// TestRoundRobinNamesMatchesMixes pins the CLI/service cell-sharing
+// contract: expanding a workload list by name (what clients send as
+// explicit spec mixes) must assign exactly like RoundRobinMixes (what
+// `hira-sim -trace` runs), for every shape.
+func TestRoundRobinNamesMatchesMixes(t *testing.T) {
+	profiles := SPEC2006Profiles()[:5]
+	for _, shape := range []struct{ srcs, n, cores int }{
+		{1, 1, 4}, {2, 3, 8}, {5, 4, 3}, {3, 7, 1},
+	} {
+		srcs := make([]Source, shape.srcs)
+		names := make([]string, shape.srcs)
+		for i := range srcs {
+			srcs[i] = profiles[i]
+			names[i] = profiles[i].Name
+		}
+		mixes := RoundRobinMixes(srcs, shape.n, shape.cores)
+		byName := RoundRobinNames(names, shape.n, shape.cores)
+		if len(mixes) != len(byName) {
+			t.Fatalf("shape %+v: %d mixes vs %d name rows", shape, len(mixes), len(byName))
+		}
+		for i := range mixes {
+			for j, s := range mixes[i].Sources {
+				if s.Label() != byName[i][j] {
+					t.Fatalf("shape %+v mix %d core %d: %s vs %s", shape, i, j, s.Label(), byName[i][j])
+				}
+			}
+		}
+	}
+	if RoundRobinNames(nil, 2, 3) != nil || RoundRobinNames([]string{"a"}, 0, 3) != nil {
+		t.Error("degenerate name expansions produced rows")
+	}
+}
+
 func TestMixesCoverManyBenchmarks(t *testing.T) {
 	seen := map[string]bool{}
 	for _, m := range Mixes(125, 8, 1) {
