@@ -163,6 +163,54 @@ func BenchmarkEngineFig9Parallel(b *testing.B) {
 	b.ReportMetric(float64(workers), "workers")
 }
 
+// BenchmarkResumeExtend measures the resumable-cell win: a sweep is run
+// to N ticks cold, then extended to 2N on the warm checkpoint store, and
+// that extension is compared against running the 2N sweep cold. With a
+// checkpoint at N, the extension simulates only the ~N-tick delta per
+// cell, so the speedup approaches 2x (alone-IPC reference cells are
+// horizon-keyed and rerun in both, which is the gap to the ideal).
+func BenchmarkResumeExtend(b *testing.B) {
+	ctx := context.Background()
+	base := hira.DefaultSystemConfig()
+	policies := []hira.RefreshPolicy{hira.BaselinePolicy(), hira.HiRAPeriodicPolicy(2)}
+	short := hira.SimOptions{Workloads: 2, Cores: 8, Warmup: 25000, Measure: 275000, Seed: 1}
+	long := short
+	long.Measure = 2*short.Measure + short.Warmup // extend total N -> 2N
+	const interval = 100000
+
+	var speedup, resumedFrac float64
+	for i := 0; i < b.N; i++ {
+		// Cold 2N reference on a fresh engine.
+		coldEng := hira.NewSimEngine(hira.SimEngineConfig{SnapInterval: interval})
+		start := time.Now()
+		if _, err := coldEng.RunPolicies(ctx, base, policies, long); err != nil {
+			b.Fatal(err)
+		}
+		coldDur := time.Since(start)
+
+		// Warm path: run N, then extend to 2N on the same engine.
+		warmEng := hira.NewSimEngine(hira.SimEngineConfig{SnapInterval: interval})
+		if _, err := warmEng.RunPolicies(ctx, base, policies, short); err != nil {
+			b.Fatal(err)
+		}
+		var stats hira.EngineStats
+		extOpts := long
+		extOpts.Stats = &stats
+		start = time.Now()
+		if _, err := warmEng.RunPolicies(ctx, base, policies, extOpts); err != nil {
+			b.Fatal(err)
+		}
+		warmDur := time.Since(start)
+
+		speedup = coldDur.Seconds() / warmDur.Seconds()
+		if stats.Simulated > 0 {
+			resumedFrac = float64(stats.Resumed) / float64(stats.Simulated)
+		}
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(resumedFrac, "resumed/simulated")
+}
+
 // BenchmarkFig11Security regenerates Fig. 11: the full pth grid.
 func BenchmarkFig11Security(b *testing.B) {
 	var pts []hira.Fig11Point

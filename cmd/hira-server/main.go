@@ -39,6 +39,8 @@ var (
 	workers  = flag.Int("workers", 2, "max concurrently executing jobs")
 	queue    = flag.Int("queue", 64, "max queued jobs before submissions get 503")
 	traceDir = flag.String("traces", "", "directory of recorded trace files job specs may reference (empty rejects trace workloads)")
+	snapIvl  = flag.Int("snap-interval", 50000, "ticks between simulation checkpoints; resubmitting a sweep with longer horizons then simulates only the delta (0 disables)")
+	snapMax  = flag.Int64("snap-max-bytes", 0, "checkpoint store byte cap with oldest-first eviction (0 = 2 GiB on disk, 256 MiB in memory)")
 )
 
 func main() {
@@ -48,7 +50,12 @@ func main() {
 
 func run() int {
 	svc := service.New(service.Config{
-		Engine:     sim.EngineConfig{Parallelism: *parallel, ResultDir: *results},
+		Engine: sim.EngineConfig{
+			Parallelism:  *parallel,
+			ResultDir:    *results,
+			SnapInterval: *snapIvl,
+			SnapMaxBytes: *snapMax,
+		},
 		Workers:    *workers,
 		QueueDepth: *queue,
 		TraceDir:   *traceDir,

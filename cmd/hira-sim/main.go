@@ -45,6 +45,8 @@ var (
 	seed       = flag.Uint64("seed", 1, "workload seed")
 	parallel   = flag.Int("parallel", 0, "engine worker pool size (0 = one per CPU core)")
 	results    = flag.String("results", "", "directory for per-cell JSON results (reused across runs)")
+	snapIvl    = flag.Int("snap-interval", 0, "ticks between simulation checkpoints; rerunning with longer -ticks/-warmup then simulates only the delta (0 disables)")
+	snapMax    = flag.Int64("snap-max-bytes", 0, "checkpoint store byte cap with oldest-first eviction (0 = 2 GiB on disk, 256 MiB in memory)")
 	progress   = flag.Bool("progress", false, "print per-batch cell progress to stderr")
 	jsonOut    = flag.Bool("json", false, "emit figure rows as JSON (the experiment service's encoding)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -139,6 +141,7 @@ func opts() hira.SimOptions {
 	o := hira.SimOptions{
 		Workloads: *workloads, Cores: *cores, Measure: *ticks, Warmup: *warmup, Seed: *seed,
 		Mixes: mixSet, Parallelism: *parallel, ResultDir: *results, Stats: &engineStats,
+		SnapInterval: *snapIvl, SnapMaxBytes: *snapMax,
 	}
 	if *progress {
 		o.Progress = func(done, total int) {
@@ -342,9 +345,9 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "engine: %d cells (%d simulated, %d cache hits, %d store hits, %d deduped)\n",
-		engineStats.Submitted, engineStats.Simulated, engineStats.CacheHits,
-		engineStats.StoreHits, engineStats.Deduped)
+	fmt.Fprintf(os.Stderr, "engine: %d cells (%d simulated of which %d resumed, %d cache hits, %d store hits, %d deduped)\n",
+		engineStats.Submitted, engineStats.Simulated, engineStats.Resumed,
+		engineStats.CacheHits, engineStats.StoreHits, engineStats.Deduped)
 	if engineStats.StoreErrors > 0 {
 		fmt.Fprintf(os.Stderr, "warning: %d cell results could not be persisted to -results %s (%s)\n",
 			engineStats.StoreErrors, *results, engineStats.FirstStoreError)

@@ -23,8 +23,11 @@
 //     HiRA-MC — see the re-exported sim experiment runners Fig9, Fig12,
 //     Fig13-Fig16, and RunPolicies. Sweeps decompose into deterministic,
 //     content-keyed cells and run on a parallel experiment engine
-//     (internal/engine); SimOptions.Parallelism sizes its worker pool and
-//     SimOptions.ResultDir persists per-cell results across runs.
+//     (internal/engine); SimOptions.Parallelism sizes its worker pool,
+//     SimOptions.ResultDir persists per-cell results across runs, and
+//     SimOptions.SnapInterval checkpoints running simulations so a sweep
+//     rerun with longer horizons resumes each cell from its stored
+//     machine state (bit-identically) instead of re-simulating it.
 //
 // Subpackages under internal/ hold the implementation; everything a
 // downstream user needs is exported here or through the cmd/ binaries.

@@ -1,0 +1,51 @@
+package cache
+
+import "hira/internal/snap"
+
+// Snapshot appends the cache's mutable state — every way's tag, valid,
+// dirty, and LRU stamp, plus the stamp counter and stats — to w. The
+// line slices use the codec's bulk fixed-width forms: the LLC dominates
+// a system snapshot's size and encode time, and checkpoints are written
+// every few thousand simulated ticks, so this path must cost a memcpy,
+// not a varint call per word. Geometry is construction-time state; the
+// reader validates the line count instead of serializing it.
+func (c *Cache) Snapshot(w *snap.Writer) {
+	w.U64(c.stamp)
+	w.U64(c.Stats.Hits)
+	w.U64(c.Stats.Misses)
+	w.U64(c.Stats.Writebacks)
+	w.Len(len(c.tags))
+	w.U64s(c.tags)
+	w.U64s(c.lru)
+	w.Bools(c.valid)
+	w.Bools(c.dirty)
+}
+
+// SnapshotSize returns the encoded size of Snapshot's output in bytes
+// (a few bytes of slack for the varint header fields), so composing
+// snapshots can pre-size their buffers.
+func (c *Cache) SnapshotSize() int {
+	return 16*len(c.tags) + 2*((len(c.tags)+7)/8) + 48
+}
+
+// Restore reads state written by Snapshot into a cache of identical
+// geometry.
+func (c *Cache) Restore(r *snap.Reader) error {
+	c.stamp = r.U64()
+	c.Stats.Hits = r.U64()
+	c.Stats.Misses = r.U64()
+	c.Stats.Writebacks = r.U64()
+	n := r.Len(len(c.tags), 1)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(c.tags) {
+		r.Failf("cache has %d lines, snapshot %d", len(c.tags), n)
+		return r.Err()
+	}
+	r.U64s(c.tags)
+	r.U64s(c.lru)
+	r.Bools(c.valid)
+	r.Bools(c.dirty)
+	return r.Err()
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"hira/internal/dram"
+	"hira/internal/sched"
+	"hira/internal/snap"
+)
+
+// Snapshot appends HiRA-MC's full mutable state — the PARA RNG, the
+// generation rotation, and every bank's Refresh Table slice, RefPtr
+// table, balance counts, periodic phase, armed op, and piggyback offer —
+// to w. Derived aggregates (minDeadline, minRef, prDepth, chNext,
+// chArmed) are recomputed on restore from the serialized ground truth.
+func (m *HiRAMC) Snapshot(w *snap.Writer) {
+	w.U64(m.rng)
+	w.Int(m.genPtr)
+	w.U64(m.Generated)
+	w.U64(m.GeneratedPreventive)
+	w.U64(m.Dropped)
+	for _, b := range m.banks {
+		w.Len(len(b.queue))
+		for _, e := range b.queue {
+			w.I64(int64(e.deadline))
+			w.Bool(e.preventive)
+			w.Int(e.row)
+		}
+		for _, p := range b.refPtr {
+			w.Int(p)
+		}
+		for _, n := range b.refreshed {
+			w.Int(n)
+		}
+		w.I64(int64(b.periodicDue))
+		w.Bool(b.armedSet)
+		if b.armedSet {
+			w.U8(uint8(b.armed.Kind))
+			w.Int(b.armed.Rank)
+			w.Int(b.armed.Bank)
+			w.Int(b.armed.RowA)
+			w.Int(b.armed.RowB)
+			w.Int(b.armedCount)
+		}
+		// The piggyback offer is a pointer into the queue; serialize it as
+		// an index, or as a "dangling" marker when the queue's backing
+		// array moved underneath it (live behavior: set, matches nothing).
+		off := 0
+		if b.offered != nil {
+			off = -1
+			for i := range b.queue {
+				if &b.queue[i] == b.offered {
+					off = i + 1
+					break
+				}
+			}
+		}
+		w.Int(off)
+		if b.offered != nil {
+			w.Int(b.offeredRow)
+		}
+	}
+	w.Bool(m.ref != nil)
+	if m.ref != nil {
+		m.ref.Snapshot(w)
+	}
+}
+
+// Restore reads state written by Snapshot into a freshly constructed
+// engine of identical configuration, validating every row, pointer, and
+// phase against the organization so corrupt checkpoints error instead of
+// panicking (or spinning the generation catch-up loop) later.
+func (m *HiRAMC) Restore(r *snap.Reader, now dram.Time) error {
+	org := m.cfg.Org
+	rows := org.RowsPerBank()
+	m.rng = r.U64()
+	m.genPtr = r.Int()
+	if m.genPtr < 0 || m.genPtr >= len(m.banks) {
+		r.Failf("generation pointer %d out of range", m.genPtr)
+		return r.Err()
+	}
+	m.Generated = r.U64()
+	m.GeneratedPreventive = r.U64()
+	m.Dropped = r.U64()
+	for i := range m.chNext {
+		m.chNext[i] = dram.MaxTime()
+		m.chArmed[i] = 0
+	}
+	for _, b := range m.banks {
+		nq := r.Len(RefreshTableCap, 3)
+		b.queue = b.queue[:0]
+		b.prDepth = 0
+		for j := 0; j < nq; j++ {
+			e := refEntry{deadline: dram.Time(r.I64()), preventive: r.Bool(), row: r.Int()}
+			if r.Err() != nil {
+				return r.Err()
+			}
+			// Periodic entries resolve their row through the RefPtr table
+			// (row == -1); preventive entries carry a concrete victim.
+			if e.preventive {
+				if e.row < 0 || e.row >= rows {
+					r.Failf("preventive refresh row %d out of range", e.row)
+					return r.Err()
+				}
+				b.prDepth++
+			} else if e.row != -1 {
+				r.Failf("periodic refresh entry carries row %d", e.row)
+				return r.Err()
+			}
+			b.queue = append(b.queue, e)
+		}
+		b.recalcMinDeadline()
+		for j := range b.refPtr {
+			p := r.Int()
+			if p < 0 || p >= org.RowsPerSubarray {
+				r.Failf("refptr %d out of range", p)
+				return r.Err()
+			}
+			b.refPtr[j] = p
+		}
+		min := int(^uint(0) >> 1)
+		for j := range b.refreshed {
+			n := r.Int()
+			if n < 0 {
+				r.Failf("negative refresh count")
+				return r.Err()
+			}
+			b.refreshed[j] = n
+			if n < min {
+				min = n
+			}
+		}
+		b.minRef = min
+		b.periodicDue = dram.Time(r.I64())
+		// A lagging periodic phase would make Tick's catch-up loop push one
+		// entry per interval since the phase. A live PeriodicHiRA engine
+		// stays within tRefSlack + one interval of the clock even across
+		// idle-skip windows (NextEvent bounds every skip by the next
+		// generation's mandatory time), so anything further back is
+		// corruption — and a potential unbounded loop. Other modes never
+		// advance (or read) the phase.
+		if m.cfg.Periodic == PeriodicHiRA &&
+			(b.periodicDue < now-(m.cfg.RefSlack+4*m.interval+m.lead) || b.periodicDue < 0) {
+			r.Failf("periodic phase %d too far behind clock %d", b.periodicDue, now)
+			return r.Err()
+		}
+		b.armedSet = r.Bool()
+		if b.armedSet {
+			b.armed = sched.Op{
+				Kind: sched.OpKind(r.U8()),
+				Rank: r.Int(), Bank: r.Int(),
+				RowA: r.Int(), RowB: r.Int(),
+			}
+			b.armedCount = r.Int()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			switch b.armed.Kind {
+			case sched.OpRowRefresh, sched.OpHiRAPair, sched.OpRowRefreshBlocking:
+			default:
+				r.Failf("armed op kind %d invalid", b.armed.Kind)
+				return r.Err()
+			}
+			if b.armed.Rank < 0 || b.armed.Rank >= org.RanksPerChannel ||
+				b.armed.Bank < 0 || b.armed.Bank >= org.BanksPerRank() ||
+				b.armed.RowA < -1 || b.armed.RowA >= rows ||
+				b.armed.RowB < -1 || b.armed.RowB >= rows ||
+				b.armedCount < 1 || b.armedCount > 2 {
+				r.Failf("armed op out of range")
+				return r.Err()
+			}
+			m.chArmed[b.ch]++
+		} else {
+			b.armed = sched.Op{}
+			b.armedCount = 0
+		}
+		off := r.Int()
+		b.offered = nil
+		if off != 0 {
+			b.offeredRow = r.Int()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if b.offeredRow < -1 || b.offeredRow >= rows || off > len(b.queue) {
+				r.Failf("piggyback offer out of range")
+				return r.Err()
+			}
+			if off > 0 {
+				b.offered = &b.queue[off-1]
+			} else {
+				// Dangling live pointer: non-nil, matches no queue entry.
+				b.offered = &refEntry{}
+			}
+		}
+		if len(b.queue) > 0 && b.minDeadline < m.chNext[b.ch] {
+			m.chNext[b.ch] = b.minDeadline
+		}
+	}
+	hasREF := r.Bool()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if hasREF != (m.ref != nil) {
+		r.Failf("baseline REF presence mismatch")
+		return r.Err()
+	}
+	if m.ref != nil {
+		return m.ref.Restore(r)
+	}
+	return r.Err()
+}

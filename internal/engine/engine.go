@@ -62,6 +62,14 @@ type Stats struct {
 	Deduped     uint64 `json:"deduped"`      // duplicate keys within a batch
 	StoreErrors uint64 `json:"store_errors"` // results that could not be persisted to ResultDir
 
+	// Resumed counts the subset of Simulated cells that restored a
+	// checkpoint instead of simulating from tick zero, and ResumedTicks
+	// sums the ticks those checkpoints spared — the cells were partially
+	// resumed, not fully simulated. Cells report this through
+	// MarkResumed.
+	Resumed      uint64 `json:"resumed"`
+	ResumedTicks uint64 `json:"resumed_ticks"`
+
 	// FirstStoreError describes the first ResultDir write failure, so
 	// callers can report why persistence degraded (permissions, full
 	// disk, ...), not just that it did.
@@ -76,8 +84,34 @@ func (s *Stats) Add(o Stats) {
 	s.StoreHits += o.StoreHits
 	s.Deduped += o.Deduped
 	s.StoreErrors += o.StoreErrors
+	s.Resumed += o.Resumed
+	s.ResumedTicks += o.ResumedTicks
 	if s.FirstStoreError == "" {
 		s.FirstStoreError = o.FirstStoreError
+	}
+}
+
+// resumeNoteKey carries the per-computation resume note through the
+// context handed to Cell.Run.
+type resumeNoteKey struct{}
+
+// resumeNote is written by the cell (via MarkResumed) and read by the
+// engine after Run returns; the computation runs synchronously on one
+// goroutine, so no synchronization is needed.
+type resumeNote struct {
+	resumed bool
+	ticks   int
+}
+
+// MarkResumed records that the cell computation running under ctx
+// restored a checkpoint covering the first `ticks` simulated ticks
+// instead of starting cold. The engine tallies it in Stats.Resumed /
+// Stats.ResumedTicks so operators can see sweeps being answered by
+// incremental simulation. Outside an engine-run cell it is a no-op.
+func MarkResumed(ctx context.Context, ticks int) {
+	if n, ok := ctx.Value(resumeNoteKey{}).(*resumeNote); ok {
+		n.resumed = true
+		n.ticks = ticks
 	}
 }
 
@@ -360,7 +394,8 @@ func (e *Engine[R]) compute(ctx context.Context, c Cell[R], b *batch) (R, error)
 	case <-ctx.Done():
 		return zero, ctx.Err()
 	}
-	r, err := c.Run(ctx)
+	note := &resumeNote{}
+	r, err := c.Run(context.WithValue(ctx, resumeNoteKey{}, note))
 	<-e.sem
 	if err != nil {
 		return zero, err
@@ -369,7 +404,13 @@ func (e *Engine[R]) compute(ctx context.Context, c Cell[R], b *batch) (R, error)
 	e.mu.Lock()
 	e.cache[c.Key] = r
 	e.mu.Unlock()
-	b.bump(func(s *Stats) { s.Simulated++ })
+	b.bump(func(s *Stats) {
+		s.Simulated++
+		if note.resumed {
+			s.Resumed++
+			s.ResumedTicks += uint64(note.ticks)
+		}
+	})
 	if e.store != nil {
 		if err := e.store.save(c.Key, r); err != nil {
 			// Best-effort: never throw away a computed result over a

@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SnapStats tallies a SnapStore's lifetime activity: how often resuming
+// runs found a usable checkpoint, how much work the byte cap evicted,
+// and the store's current footprint.
+type SnapStats struct {
+	Hits      uint64 `json:"hits"`      // resume attempts that restored a usable checkpoint
+	Misses    uint64 `json:"misses"`    // resume attempts that found nothing usable
+	Saves     uint64 `json:"saves"`     // checkpoints written
+	Evictions uint64 `json:"evictions"` // checkpoints dropped by the byte cap
+	Bytes     int64  `json:"bytes"`     // current payload bytes
+	Entries   int    `json:"entries"`   // current checkpoint count
+
+	// SaveErrors counts checkpoints that could not be written (disk
+	// full, permissions, over-cap payloads) — saves are best-effort, so
+	// without this tally a store silently degrading to cold simulation
+	// would be invisible. FirstSaveError describes the first failure.
+	SaveErrors     uint64 `json:"save_errors"`
+	FirstSaveError string `json:"first_save_error,omitempty"`
+}
+
+// DefaultSnapMaxBytes is the checkpoint store's default byte cap for
+// on-disk stores. Sized for a full figure sweep's working set (~100
+// trajectories at a few checkpoints of ~2 MB each): a cap that doesn't
+// hold one sweep makes a sequential rerun evict every checkpoint
+// moments before it would have been resumed.
+const DefaultSnapMaxBytes = 2 << 30
+
+// DefaultSnapMaxBytesMemory is the default cap for in-memory stores,
+// where the budget is process RAM rather than disk.
+const DefaultSnapMaxBytesMemory = 256 << 20
+
+// snapEntry is one stored checkpoint.
+type snapEntry struct {
+	hash  string
+	tick  int
+	size  int64
+	touch uint64 // last-use order for oldest-first eviction
+	data  []byte // payload, in-memory mode only
+}
+
+// SnapStore holds simulation checkpoints keyed by (trajectory key, tick):
+// opaque binary snapshots a cell runner writes while simulating and reads
+// to resume a longer run from a shorter one's state. With a directory it
+// shares the result store's layout — 256 two-hex shard directories,
+// temp-file + rename atomic writes, a startup-built index — storing each
+// checkpoint as <sha256(key)>@<tick>.snap next to the JSON cells; without
+// one it degrades to a process-local in-memory store, which still lets a
+// long-lived engine (e.g. the experiment service) answer "same cell,
+// longer horizon" by simulating only the delta.
+//
+// The store is bounded: once stored payloads exceed maxBytes, the
+// least-recently-used checkpoints are evicted (oldest-first when nothing
+// has been re-read) until the new save fits. Corrupt or unreadable files
+// are misses — the consumer validates payloads and re-simulates.
+type SnapStore struct {
+	root     string // "" = in-memory
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]map[int]*snapEntry // key hash -> tick -> entry
+	total   int64
+	clock   uint64
+	stats   SnapStats
+}
+
+// NewSnapStore opens (creating if needed) a checkpoint store rooted at
+// dir, or an in-memory store when dir is empty. maxBytes <= 0 applies
+// DefaultSnapMaxBytes (disk) or DefaultSnapMaxBytesMemory (in-memory).
+func NewSnapStore(dir string, maxBytes int64) *SnapStore {
+	if maxBytes <= 0 {
+		if dir == "" {
+			maxBytes = DefaultSnapMaxBytesMemory
+		} else {
+			maxBytes = DefaultSnapMaxBytes
+		}
+	}
+	s := &SnapStore{root: dir, maxBytes: maxBytes, entries: make(map[string]map[int]*snapEntry)}
+	if dir == "" {
+		return s
+	}
+	os.MkdirAll(dir, 0o755)
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		return s
+	}
+	// Index existing checkpoints, oldest first by modification time so
+	// the eviction order survives restarts.
+	type found struct {
+		e   *snapEntry
+		mod int64
+	}
+	var all []found
+	for _, sh := range shards {
+		if !sh.IsDir() || !isShardName(sh.Name()) {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			hash, tick, ok := snapFileName(f.Name())
+			if !ok {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			all = append(all, found{
+				e:   &snapEntry{hash: hash, tick: tick, size: info.Size()},
+				mod: info.ModTime().UnixNano(),
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mod < all[j].mod })
+	for _, f := range all {
+		s.clock++
+		f.e.touch = s.clock
+		s.insertLocked(f.e)
+	}
+	return s
+}
+
+// snapFileName parses a <64-hex>@<tick>.snap checkpoint file name.
+func snapFileName(name string) (hash string, tick int, ok bool) {
+	rest, ok := strings.CutSuffix(name, ".snap")
+	if !ok || len(rest) < 66 || rest[64] != '@' {
+		return "", 0, false
+	}
+	hash = rest[:64]
+	if _, ok := flatCellName(hash + ".json"); !ok {
+		return "", 0, false
+	}
+	tick, err := strconv.Atoi(rest[65:])
+	if err != nil || tick <= 0 {
+		return "", 0, false
+	}
+	return hash, tick, true
+}
+
+// insertLocked adds e to the index, replacing any same-slot entry.
+func (s *SnapStore) insertLocked(e *snapEntry) {
+	byTick := s.entries[e.hash]
+	if byTick == nil {
+		byTick = make(map[int]*snapEntry)
+		s.entries[e.hash] = byTick
+	}
+	if old := byTick[e.tick]; old != nil {
+		s.total -= old.size
+		s.stats.Entries--
+	}
+	byTick[e.tick] = e
+	s.total += e.size
+	s.stats.Entries++
+}
+
+// Ticks returns the ticks with a stored checkpoint for key, ascending.
+func (s *SnapStore) Ticks(key string) []int {
+	hash := hashKey(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byTick := s.entries[hash]
+	if len(byTick) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(byTick))
+	for t := range byTick {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Has reports whether a checkpoint exists for (key, tick).
+func (s *SnapStore) Has(key string, tick int) bool {
+	hash := hashKey(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[hash][tick] != nil
+}
+
+// Load returns the checkpoint payload for (key, tick). A missing,
+// unreadable, or vanished checkpoint is (nil, false); payload validation
+// is the consumer's job (the self-describing snapshot embeds its own key
+// and version). Load does not tally hits or misses — those are
+// per-resume-attempt (NoteHit/NoteMiss), not per-read, so one attempt
+// that probes several candidates still counts once. File reads happen
+// outside the index lock: checkpoints run to megabytes, and a worker
+// pool must not serialize on one cell's disk I/O.
+func (s *SnapStore) Load(key string, tick int) ([]byte, bool) {
+	hash := hashKey(key)
+	s.mu.Lock()
+	e := s.entries[hash][tick]
+	var data []byte
+	if e != nil && s.root == "" {
+		s.clock++
+		e.touch = s.clock
+		data = e.data
+	}
+	s.mu.Unlock()
+	if e == nil {
+		return nil, false
+	}
+	if s.root == "" {
+		return data, true
+	}
+	data, err := os.ReadFile(s.snapPath(hash, tick))
+	if err != nil {
+		s.mu.Lock()
+		s.dropLocked(e, false)
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.clock++
+	e.touch = s.clock
+	s.mu.Unlock()
+	return data, true
+}
+
+// NoteHit records a resume attempt that restored a usable checkpoint.
+func (s *SnapStore) NoteHit() {
+	s.mu.Lock()
+	s.stats.Hits++
+	s.mu.Unlock()
+}
+
+// NoteMiss records a resume attempt that found no usable checkpoint
+// (including ones whose payloads failed validation downstream), keeping
+// the hit/miss tallies meaningful to operators.
+func (s *SnapStore) NoteMiss() {
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+}
+
+// Save stores a checkpoint for (key, tick), evicting least-recently-used
+// checkpoints if needed to respect the byte cap. A payload larger than
+// the whole cap is rejected. Saving an already-present slot overwrites
+// it. The store takes ownership of data — callers must not reuse the
+// slice (checkpoints run to megabytes, and the save path is hot enough
+// that a defensive copy is measurable). Failures are tallied in
+// SaveErrors/FirstSaveError besides being returned, because callers
+// treat saves as best-effort and would otherwise degrade silently.
+func (s *SnapStore) Save(key string, tick int, data []byte) error {
+	err := s.save(key, tick, data)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.SaveErrors++
+		if s.stats.FirstSaveError == "" {
+			s.stats.FirstSaveError = err.Error()
+		}
+		s.mu.Unlock()
+	}
+	return err
+}
+
+func (s *SnapStore) save(key string, tick int, data []byte) error {
+	if tick <= 0 {
+		return fmt.Errorf("engine: checkpoint tick %d must be positive", tick)
+	}
+	size := int64(len(data))
+	if size > s.maxBytes {
+		return fmt.Errorf("engine: %d-byte checkpoint exceeds the %d-byte store cap", size, s.maxBytes)
+	}
+	hash := hashKey(key)
+	if s.root != "" {
+		// Write the payload before touching the index, outside the lock
+		// (the multi-megabyte I/O must not serialize the worker pool).
+		// Concurrent same-slot writers race benignly: trajectories are
+		// deterministic, so both payloads are identical, and the atomic
+		// rename means the last one wins.
+		shard := filepath.Join(s.root, hash[:2])
+		if err := os.MkdirAll(shard, 0o755); err != nil {
+			return fmt.Errorf("engine: snapshot store: %w", err)
+		}
+		tmp, err := os.CreateTemp(shard, "snap-*.tmp")
+		if err != nil {
+			return fmt.Errorf("engine: snapshot store: %w", err)
+		}
+		if _, err := tmp.Write(data); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("engine: snapshot store: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("engine: snapshot store: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), s.snapPath(hash, tick)); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("engine: snapshot store: %w", err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Retire any same-slot entry's accounting first — its file (if any)
+	// was just atomically replaced, so it must not become an eviction
+	// victim below and delete the fresh payload.
+	if old := s.entries[hash][tick]; old != nil {
+		delete(s.entries[hash], tick)
+		if len(s.entries[hash]) == 0 {
+			delete(s.entries, hash)
+		}
+		s.total -= old.size
+		s.stats.Entries--
+	}
+	for s.total+size > s.maxBytes {
+		victim := s.oldestLocked()
+		if victim == nil {
+			break
+		}
+		s.dropLocked(victim, true)
+	}
+	e := &snapEntry{hash: hash, tick: tick, size: size}
+	if s.root == "" {
+		e.data = data
+	}
+	s.clock++
+	e.touch = s.clock
+	s.insertLocked(e)
+	s.stats.Saves++
+	return nil
+}
+
+// oldestLocked returns the least-recently-used entry, or nil when empty.
+func (s *SnapStore) oldestLocked() *snapEntry {
+	var victim *snapEntry
+	for _, byTick := range s.entries {
+		for _, e := range byTick {
+			if victim == nil || e.touch < victim.touch {
+				victim = e
+			}
+		}
+	}
+	return victim
+}
+
+// dropLocked removes an entry from the index (and its file on disk),
+// optionally counting it as an eviction.
+func (s *SnapStore) dropLocked(e *snapEntry, evict bool) {
+	byTick := s.entries[e.hash]
+	if byTick[e.tick] != e {
+		return
+	}
+	delete(byTick, e.tick)
+	if len(byTick) == 0 {
+		delete(s.entries, e.hash)
+	}
+	s.total -= e.size
+	s.stats.Entries--
+	if evict {
+		s.stats.Evictions++
+	}
+	if s.root != "" {
+		os.Remove(s.snapPath(e.hash, e.tick))
+	}
+}
+
+// snapPath returns where a checkpoint lives: root/ab/ab...@tick.snap.
+func (s *SnapStore) snapPath(hash string, tick int) string {
+	return filepath.Join(s.root, hash[:2], fmt.Sprintf("%s@%d.snap", hash, tick))
+}
+
+// Stats returns a snapshot of the store's tallies.
+func (s *SnapStore) Stats() SnapStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Bytes = s.total
+	return st
+}

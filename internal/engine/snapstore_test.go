@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testPayload(n int, fill byte) []byte {
+	return bytes.Repeat([]byte{fill}, n)
+}
+
+func TestSnapStoreRoundTrip(t *testing.T) {
+	for _, dir := range []string{"", t.TempDir()} {
+		name := "memory"
+		if dir != "" {
+			name = "disk"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := NewSnapStore(dir, 1<<20)
+			if _, ok := s.Load("traj-a", 100); ok {
+				t.Fatal("empty store served a checkpoint")
+			}
+			for _, tick := range []int{100, 300, 200} {
+				if err := s.Save("traj-a", tick, testPayload(64, byte(tick))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Save("traj-b", 150, testPayload(64, 9)); err != nil {
+				t.Fatal(err)
+			}
+			got := s.Ticks("traj-a")
+			if len(got) != 3 || got[0] != 100 || got[1] != 200 || got[2] != 300 {
+				t.Fatalf("Ticks = %v, want [100 200 300]", got)
+			}
+			if ticks := s.Ticks("traj-b"); len(ticks) != 1 || ticks[0] != 150 {
+				t.Fatalf("traj-b ticks = %v", ticks)
+			}
+			data, ok := s.Load("traj-a", 200)
+			if !ok || !bytes.Equal(data, testPayload(64, 200&0xff)) {
+				t.Fatalf("Load(200) = %v, %v", data, ok)
+			}
+			if !s.Has("traj-a", 300) || s.Has("traj-a", 250) {
+				t.Fatal("Has answers wrong")
+			}
+			// Overwriting a slot replaces, not duplicates.
+			if err := s.Save("traj-a", 200, testPayload(32, 7)); err != nil {
+				t.Fatal(err)
+			}
+			data, _ = s.Load("traj-a", 200)
+			if len(data) != 32 {
+				t.Fatalf("overwritten payload length %d", len(data))
+			}
+			st := s.Stats()
+			if st.Entries != 4 || st.Bytes != 3*64+32 {
+				t.Fatalf("stats %+v", st)
+			}
+			// Hits and misses are per-resume-attempt tallies recorded by
+			// the consumer, not per-Load.
+			if st.Hits != 0 || st.Misses != 0 || st.Saves != 5 {
+				t.Fatalf("tallies %+v", st)
+			}
+			s.NoteHit()
+			s.NoteMiss()
+			if st = s.Stats(); st.Hits != 1 || st.Misses != 1 {
+				t.Fatalf("attempt tallies %+v", st)
+			}
+		})
+	}
+}
+
+func TestSnapStoreEviction(t *testing.T) {
+	s := NewSnapStore("", 300)
+	// Three 100-byte checkpoints fill the store exactly.
+	for i := 1; i <= 3; i++ {
+		if err := s.Save("k", i*100, testPayload(100, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest so eviction order is by last use, not insertion.
+	if _, ok := s.Load("k", 100); !ok {
+		t.Fatal("lost a checkpoint before the cap")
+	}
+	if err := s.Save("k", 400, testPayload(100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("k", 200) {
+		t.Fatal("least-recently-used checkpoint survived the cap")
+	}
+	if !s.Has("k", 100) || !s.Has("k", 300) || !s.Has("k", 400) {
+		t.Fatalf("wrong eviction victim: ticks %v", s.Ticks("k"))
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Bytes != 300 || st.Entries != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	// A payload over the whole cap is rejected outright — and the
+	// failure is visible in the tallies, not just the returned error.
+	if err := s.Save("k", 500, testPayload(301, 5)); err == nil {
+		t.Fatal("over-cap payload accepted")
+	}
+	if st := s.Stats(); st.SaveErrors != 1 || st.FirstSaveError == "" {
+		t.Fatalf("save failure not tallied: %+v", st)
+	}
+}
+
+func TestSnapStoreReload(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSnapStore(dir, 1<<20)
+	for i := 1; i <= 4; i++ {
+		if err := s.Save("traj", i*1000, testPayload(50+i, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh store over the same directory indexes the checkpoints.
+	s2 := NewSnapStore(dir, 1<<20)
+	if ticks := s2.Ticks("traj"); len(ticks) != 4 || ticks[3] != 4000 {
+		t.Fatalf("reloaded ticks = %v", ticks)
+	}
+	data, ok := s2.Load("traj", 3000)
+	if !ok || len(data) != 53 {
+		t.Fatalf("reloaded Load = %d bytes, %v", len(data), ok)
+	}
+	if st := s2.Stats(); st.Bytes != 51+52+53+54 {
+		t.Fatalf("reloaded size accounting %+v", st)
+	}
+}
+
+func TestSnapStoreVanishedFile(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSnapStore(dir, 1<<20)
+	if err := s.Save("traj", 100, testPayload(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	hash := hashKey("traj")
+	if err := os.Remove(filepath.Join(dir, hash[:2], fmt.Sprintf("%s@%d.snap", hash, 100))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load("traj", 100); ok {
+		t.Fatal("vanished checkpoint served")
+	}
+	if s.Has("traj", 100) {
+		t.Fatal("vanished checkpoint still indexed")
+	}
+}
+
+func TestSnapStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Result-store cells and junk must not be indexed as checkpoints.
+	sub := filepath.Join(dir, "ab")
+	os.MkdirAll(sub, 0o755)
+	hash := hashKey("x")
+	os.WriteFile(filepath.Join(sub, hash+".json"), []byte("{}"), 0o644)
+	os.WriteFile(filepath.Join(sub, "junk.snap"), []byte("?"), 0o644)
+	os.WriteFile(filepath.Join(sub, hash+"@-5.snap"), []byte("?"), 0o644)
+	s := NewSnapStore(dir, 1<<20)
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("indexed foreign files: %+v", st)
+	}
+}

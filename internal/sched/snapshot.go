@@ -1,0 +1,329 @@
+package sched
+
+import (
+	"hira/internal/dram"
+	"hira/internal/snap"
+)
+
+// Sub returns the per-field difference s - o. Every Stats field is a
+// monotone additive counter (the scheduler only ever increments them, and
+// idle-skip replay adds precomputed deltas), so the difference between
+// two cumulative snapshots of one run equals the stats of the interval
+// between them exactly — the identity the resumable cell runner relies on
+// to report measured-phase stats without resetting mid-run state.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:               s.Reads - o.Reads,
+		Writes:              s.Writes - o.Writes,
+		RowHits:             s.RowHits - o.RowHits,
+		RowMisses:           s.RowMisses - o.RowMisses,
+		ACTs:                s.ACTs - o.ACTs,
+		PREs:                s.PREs - o.PREs,
+		REFs:                s.REFs - o.REFs,
+		HiRAPiggybacks:      s.HiRAPiggybacks - o.HiRAPiggybacks,
+		HiRAPairs:           s.HiRAPairs - o.HiRAPairs,
+		StandaloneRefreshes: s.StandaloneRefreshes - o.StandaloneRefreshes,
+		SeqBlocked:          s.SeqBlocked - o.SeqBlocked,
+		CanACTBlocked:       s.CanACTBlocked - o.CanACTBlocked,
+		ReadLatencySum:      s.ReadLatencySum - o.ReadLatencySum,
+		ReadCount:           s.ReadCount - o.ReadCount,
+	}
+}
+
+// snapStats appends every Stats field.
+func snapStats(w *snap.Writer, s Stats) {
+	w.U64(s.Reads)
+	w.U64(s.Writes)
+	w.U64(s.RowHits)
+	w.U64(s.RowMisses)
+	w.U64(s.ACTs)
+	w.U64(s.PREs)
+	w.U64(s.REFs)
+	w.U64(s.HiRAPiggybacks)
+	w.U64(s.HiRAPairs)
+	w.U64(s.StandaloneRefreshes)
+	w.U64(s.SeqBlocked)
+	w.U64(s.CanACTBlocked)
+	w.I64(int64(s.ReadLatencySum))
+	w.U64(s.ReadCount)
+}
+
+func restoreStats(r *snap.Reader) Stats {
+	return Stats{
+		Reads:               r.U64(),
+		Writes:              r.U64(),
+		RowHits:             r.U64(),
+		RowMisses:           r.U64(),
+		ACTs:                r.U64(),
+		PREs:                r.U64(),
+		REFs:                r.U64(),
+		HiRAPiggybacks:      r.U64(),
+		HiRAPairs:           r.U64(),
+		StandaloneRefreshes: r.U64(),
+		SeqBlocked:          r.U64(),
+		CanACTBlocked:       r.U64(),
+		ReadLatencySum:      dram.Time(r.I64()),
+		ReadCount:           r.U64(),
+	}
+}
+
+// maxActTimes bounds a rank's serialized tFAW activation timeline; the
+// live list is pruned to the tFAW window (a handful of entries), so
+// anything larger is corruption.
+const maxActTimes = 1024
+
+// Snapshot appends the controller's full mutable state — clock, stats,
+// per-channel queues (in arrival order, which uniquely determines both
+// the channel-wide list and every per-bank bucket), bank and rank timing
+// state, any in-flight HiRA sequence, and the idle-skip horizon — to w.
+// The freelist and per-tick scratch are not state: a restored controller
+// simply reallocates nodes on demand, which is behaviorally identical.
+func (c *Controller) Snapshot(w *snap.Writer) {
+	w.I64(int64(c.now))
+	w.U64(c.arrival)
+	snapStats(w, c.Stats)
+	for _, ch := range c.chans {
+		w.I64(int64(ch.lastCmd))
+		w.Bool(ch.hasCmd)
+		w.I64(int64(ch.dataBusFree))
+		w.Bool(ch.draining)
+		w.I64(int64(ch.idleUntil))
+		w.U64(ch.idleSeqBlocked)
+		w.U64(ch.idleCanACT)
+
+		w.Bool(ch.seq != nil)
+		if s := ch.seq; s != nil {
+			w.Int(s.n)
+			w.Int(s.next)
+			w.Int(s.rank)
+			w.Int(s.flat)
+			w.Bool(s.access)
+			w.I64(int64(s.plannedSecond))
+			for _, sc := range s.cmds {
+				w.U8(uint8(sc.kind))
+				w.U8(uint8(sc.phase))
+				w.Int(sc.rank)
+				w.Int(sc.bank)
+				w.Int(sc.row)
+				w.I64(int64(sc.due))
+			}
+		}
+
+		for i := range ch.banks {
+			b := &ch.banks[i]
+			w.Bool(b.open)
+			w.Int(b.row)
+			w.I64(int64(b.actAt))
+			w.I64(int64(b.readyACT))
+			w.I64(int64(b.readyPRE))
+			w.I64(int64(b.readyCol))
+			w.Bool(b.reserved)
+			w.Bool(b.pendingPRE)
+			w.I64(int64(b.pendingPREAt))
+		}
+		for i := range ch.ranks {
+			rk := &ch.ranks[i]
+			w.I64(int64(rk.lastACT))
+			w.Int(rk.lastACTGroup)
+			w.Len(len(rk.actTimes))
+			for _, t := range rk.actTimes {
+				w.I64(int64(t))
+			}
+			w.I64(int64(rk.refBusy))
+			w.Bool(rk.refDrain)
+			w.Bool(rk.pendingREF)
+		}
+		for k := range ch.q {
+			w.Len(ch.q[k].count)
+			for n := ch.q[k].ghead; n != nil; n = n.gnext {
+				w.U64(n.seq)
+				w.Int(n.req.Loc.Rank)
+				w.Int(n.req.Loc.Bank)
+				w.Int(n.req.Loc.Row)
+				w.Int(n.req.Loc.Col)
+				w.Bool(n.req.Write)
+				w.Int(n.req.Core)
+				w.U64(n.req.Token)
+				w.I64(int64(n.req.Arrive))
+			}
+		}
+	}
+}
+
+// Restore reads state written by Snapshot into a freshly constructed
+// controller of identical configuration. maxCore bounds request core ids
+// (the controller itself never indexes by core, but its completion
+// callback does, so a corrupt id must be rejected here). Every index and
+// row serialized is validated against the organization, making a corrupt
+// snapshot an error rather than a controller that panics mid-tick.
+func (c *Controller) Restore(r *snap.Reader, maxCore int) error {
+	org := c.cfg.Org
+	rows := org.RowsPerBank()
+	c.now = dram.Time(r.I64())
+	if c.now < 0 {
+		r.Failf("negative clock %d", c.now)
+	}
+	c.arrival = r.U64()
+	c.Stats = restoreStats(r)
+	for _, ch := range c.chans {
+		ch.lastCmd = dram.Time(r.I64())
+		ch.hasCmd = r.Bool()
+		ch.dataBusFree = dram.Time(r.I64())
+		ch.draining = r.Bool()
+		ch.idleUntil = dram.Time(r.I64())
+		ch.idleSeqBlocked = r.U64()
+		ch.idleCanACT = r.U64()
+
+		if r.Bool() {
+			s := &ch.seqStore
+			s.n = r.Int()
+			s.next = r.Int()
+			s.rank = r.Int()
+			s.flat = r.Int()
+			s.access = r.Bool()
+			s.plannedSecond = dram.Time(r.I64())
+			for i := range s.cmds {
+				sc := &s.cmds[i]
+				sc.kind = dram.Kind(r.U8())
+				sc.phase = dram.HiRAPhase(r.U8())
+				sc.rank = r.Int()
+				sc.bank = r.Int()
+				sc.row = r.Int()
+				sc.due = dram.Time(r.I64())
+				if r.Err() != nil {
+					return r.Err()
+				}
+				if sc.kind > dram.KindREF || sc.phase > dram.HiRASecondACT ||
+					sc.rank < 0 || sc.rank >= org.RanksPerChannel ||
+					sc.bank < 0 || sc.bank >= org.BanksPerRank() ||
+					sc.row < 0 || sc.row >= rows {
+					r.Failf("sequence command %d out of range", i)
+					return r.Err()
+				}
+			}
+			if s.n < 1 || s.n > len(s.cmds) || s.next < 0 || s.next >= s.n ||
+				s.rank < 0 || s.rank >= org.RanksPerChannel ||
+				s.flat < 0 || s.flat >= len(ch.banks) {
+				r.Failf("HiRA sequence state out of range")
+				return r.Err()
+			}
+			ch.seq = s
+		} else {
+			ch.seq = nil
+		}
+
+		ch.pendingPREs = 0
+		for i := range ch.banks {
+			b := &ch.banks[i]
+			b.open = r.Bool()
+			b.row = r.Int()
+			b.actAt = dram.Time(r.I64())
+			b.readyACT = dram.Time(r.I64())
+			b.readyPRE = dram.Time(r.I64())
+			b.readyCol = dram.Time(r.I64())
+			b.reserved = r.Bool()
+			b.pendingPRE = r.Bool()
+			b.pendingPREAt = dram.Time(r.I64())
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if b.open && (b.row < 0 || b.row >= rows) {
+				r.Failf("bank %d open row %d out of range", i, b.row)
+				return r.Err()
+			}
+			if b.pendingPRE {
+				ch.pendingPREs++
+			}
+			b.bq[qRead] = bankQ{}
+			b.bq[qWrite] = bankQ{}
+		}
+		for i := range ch.ranks {
+			rk := &ch.ranks[i]
+			rk.lastACT = dram.Time(r.I64())
+			rk.lastACTGroup = r.Int()
+			nt := r.Len(maxActTimes, 1)
+			rk.actTimes = rk.actTimes[:0]
+			for j := 0; j < nt; j++ {
+				rk.actTimes = append(rk.actTimes, dram.Time(r.I64()))
+			}
+			rk.refBusy = dram.Time(r.I64())
+			rk.refDrain = r.Bool()
+			rk.pendingREF = r.Bool()
+		}
+
+		for k := range ch.q {
+			q := &ch.q[k]
+			*q = kindQ{active: q.active[:0], pos: q.pos}
+			for i := range q.pos {
+				q.pos[i] = -1
+			}
+			capN := c.cfg.ReadQueueCap
+			if k == qWrite {
+				capN = c.cfg.WriteQueueCap
+			}
+			cnt := r.Len(capN, 6)
+			for i := 0; i < cnt; i++ {
+				var req Request
+				seq := r.U64()
+				req.Loc.Channel = ch.id
+				req.Loc.Rank = r.Int()
+				req.Loc.Bank = r.Int()
+				req.Loc.Row = r.Int()
+				req.Loc.Col = r.Int()
+				req.Write = r.Bool()
+				req.Core = r.Int()
+				req.Token = r.U64()
+				req.Arrive = dram.Time(r.I64())
+				if r.Err() != nil {
+					return r.Err()
+				}
+				if req.Loc.Rank < 0 || req.Loc.Rank >= org.RanksPerChannel ||
+					req.Loc.Bank < 0 || req.Loc.Bank >= org.BanksPerRank() ||
+					req.Loc.Row < 0 || req.Loc.Row >= rows || req.Loc.Col < 0 ||
+					req.Core < 0 || req.Core >= maxCore {
+					r.Failf("queued request %d out of range", i)
+					return r.Err()
+				}
+				c.pushNode(ch, k, &reqNode{req: req, seq: seq},
+					c.flat(req.Loc.Rank, req.Loc.Bank))
+			}
+		}
+		// Recount per-bank open-row hits now that both the queues and the
+		// bank states are in place.
+		for i := range ch.banks {
+			b := &ch.banks[i]
+			if !b.open {
+				continue
+			}
+			for k := range b.bq {
+				h := 0
+				for n := b.bq[k].head; n != nil; n = n.bnext {
+					if n.req.Loc.Row == b.row {
+						h++
+					}
+				}
+				b.bq[k].hits = h
+			}
+		}
+	}
+	return r.Err()
+}
+
+// snapBaselineREF appends the conventional REF engine's schedule.
+func (b *BaselineREF) Snapshot(w *snap.Writer) {
+	for _, ranks := range b.nextAt {
+		for _, at := range ranks {
+			w.I64(int64(at))
+		}
+	}
+}
+
+// Restore reads a schedule written by Snapshot.
+func (b *BaselineREF) Restore(r *snap.Reader) error {
+	for _, ranks := range b.nextAt {
+		for i := range ranks {
+			ranks[i] = dram.Time(r.I64())
+		}
+	}
+	return r.Err()
+}

@@ -11,6 +11,7 @@ import (
 
 	"hira/internal/areamodel"
 	"hira/internal/charz"
+	"hira/internal/engine"
 	"hira/internal/rowhammer"
 	"hira/internal/sim"
 	"hira/internal/workload"
@@ -493,6 +494,9 @@ type StatsReport struct {
 	StoredCells int              `json:"stored_cells"`
 	Parallelism int              `json:"parallelism"`
 	Jobs        map[JobState]int `json:"jobs"`
+	// Snapshots reports the checkpoint store's hit/miss/evict tallies
+	// when resumable simulation cells are enabled (Engine.SnapInterval).
+	Snapshots *engine.SnapStats `json:"snapshots,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -501,6 +505,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		StoredCells: s.lab.StoredCells(),
 		Parallelism: s.lab.Parallelism(),
 		Jobs:        map[JobState]int{},
+	}
+	if snaps, ok := s.lab.SnapshotStats(); ok {
+		rep.Snapshots = &snaps
 	}
 	s.mu.Lock()
 	for _, id := range s.order {

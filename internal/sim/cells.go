@@ -54,16 +54,16 @@ func simCellKey(cfg Config, mix workload.SourceMix, warmup, measure int) string 
 		warmup, measure, strings.Join(wl, ","))
 }
 
-// simCell builds the cell that simulates one (config, policy, mix) point.
-func simCell(cfg Config, mix workload.SourceMix, warmup, measure int) engine.Cell[CellResult] {
+// simCell builds the cell that simulates one (config, policy, mix)
+// point on lab's checkpoint policy: the runner resumes from the longest
+// usable checkpoint at or below the requested horizon and writes new
+// checkpoints as it advances, so a warm store answers "same trajectory,
+// longer run" by simulating only the delta.
+func simCell(lab *Engine, cfg Config, mix workload.SourceMix, warmup, measure int) engine.Cell[CellResult] {
 	return engine.Cell[CellResult]{
 		Key: simCellKey(cfg, mix, warmup, measure),
 		Run: func(ctx context.Context) (CellResult, error) {
-			sys, err := NewSystem(cfg, mix)
-			if err != nil {
-				return CellResult{}, err
-			}
-			res, err := sys.RunContext(ctx, warmup, measure, nil)
+			res, err := runSimCell(ctx, lab.snaps, lab.snapInterval, cfg, mix, warmup, measure)
 			if err != nil {
 				return CellResult{}, err
 			}
@@ -77,18 +77,204 @@ func simCell(cfg Config, mix workload.SourceMix, warmup, measure int) engine.Cel
 	}
 }
 
+// runSimCell simulates one cell to warmup+measure ticks, resuming from
+// and writing checkpoints when snaps is configured. The result is
+// bit-identical to a cold straight-through run at any resume point and
+// any checkpoint cadence: the machine's trajectory is deterministic, and
+// measured-phase outputs are differences of cumulative counters (see
+// System.resultSince), so they cannot depend on where the run started.
+func runSimCell(ctx context.Context, snaps *engine.SnapStore, interval int,
+	cfg Config, mix workload.SourceMix, warmup, measure int) (Result, error) {
+	total := warmup + measure
+	ck := checkpointer{snaps: snaps, interval: interval, key: trajectoryKey(cfg, mix)}
+	sys, mark, haveMark := ck.resumeSystem(ctx, cfg, mix, warmup, total)
+	if sys == nil {
+		var err error
+		if sys, err = NewSystem(cfg, mix); err != nil {
+			return Result{}, err
+		}
+	}
+	if !haveMark {
+		if err := ck.runTo(ctx, sys, warmup); err != nil {
+			return Result{}, err
+		}
+		mark = sys.mark()
+		// Checkpoint the warmup boundary even off the interval grid:
+		// future runs that resume past it need the mark's cumulative
+		// counters, which live in exactly this checkpoint.
+		ck.save(sys)
+	}
+	if err := ck.runTo(ctx, sys, total); err != nil {
+		return Result{}, err
+	}
+	ck.save(sys)
+	return sys.resultSince(mark, measure), nil
+}
+
+// machine is the tickable state a checkpointer drives: the full System
+// and the alone-IPC reference run both implement it.
+type machine interface {
+	Ticks() int
+	RunTo(ctx context.Context, target int) error
+	Snapshot() ([]byte, error)
+}
+
+// checkpointer writes and resumes one trajectory's checkpoints.
+type checkpointer struct {
+	snaps    *engine.SnapStore
+	interval int
+	key      string
+}
+
+func (ck *checkpointer) enabled() bool { return ck.snaps != nil && ck.interval > 0 }
+
+// resumeLongest scans the trajectory's stored checkpoints descending for
+// the longest one at or below horizon that take accepts (restores and
+// validates); rejected candidates are skipped, so every failure mode is
+// a clean miss, never an error. Exactly one hit (a take accepted, also
+// reported through engine.MarkResumed) or one miss is tallied per
+// resume attempt, regardless of how many candidates were tried.
+func (ck *checkpointer) resumeLongest(ctx context.Context, horizon int, take func(tick int, data []byte) bool) bool {
+	if !ck.enabled() {
+		return false
+	}
+	ticks := ck.snaps.Ticks(ck.key)
+	for i := len(ticks) - 1; i >= 0; i-- {
+		t := ticks[i]
+		if t > horizon {
+			continue
+		}
+		data, ok := ck.snaps.Load(ck.key, t)
+		if !ok {
+			continue
+		}
+		if take(t, data) {
+			ck.snaps.NoteHit()
+			engine.MarkResumed(ctx, t)
+			return true
+		}
+	}
+	ck.snaps.NoteMiss()
+	return false
+}
+
+// resumeSystem restores the longest usable System checkpoint at or below
+// total ticks. A checkpoint past the warmup boundary is usable only when
+// the boundary itself is checkpointed (its cumulative counters are the
+// measured phase's baseline), and both snapshots must carry exactly the
+// tick they are indexed under — a mislabeled file must not poison the
+// result.
+func (ck *checkpointer) resumeSystem(ctx context.Context, cfg Config, mix workload.SourceMix, warmup, total int) (sys *System, mark runMark, haveMark bool) {
+	ck.resumeLongest(ctx, total, func(t int, data []byte) bool {
+		s, err := RestoreSystem(cfg, mix, data)
+		if err != nil || s.Ticks() != t {
+			return false
+		}
+		if t > warmup {
+			if warmup == 0 {
+				mark = zeroMark(cfg.Cores)
+			} else {
+				mdata, ok := ck.snaps.Load(ck.key, warmup)
+				if !ok {
+					return false
+				}
+				ms, err := RestoreSystem(cfg, mix, mdata)
+				if err != nil || ms.Ticks() != warmup {
+					return false
+				}
+				mark = ms.mark()
+			}
+			haveMark = true
+		}
+		sys = s
+		return true
+	})
+	return sys, mark, haveMark
+}
+
+// runTo advances m to the target tick, checkpointing every interval
+// boundary it crosses. Boundaries are absolute tick multiples, so runs
+// with different warmup/measure splits of one trajectory land their
+// checkpoints on a shared grid.
+func (ck *checkpointer) runTo(ctx context.Context, m machine, target int) error {
+	if !ck.enabled() {
+		return m.RunTo(ctx, target)
+	}
+	for m.Ticks() < target {
+		next := target
+		if b := (m.Ticks()/ck.interval + 1) * ck.interval; b < next {
+			next = b
+		}
+		if err := m.RunTo(ctx, next); err != nil {
+			return err
+		}
+		if next%ck.interval == 0 {
+			ck.save(m)
+		}
+	}
+	return nil
+}
+
+// save checkpoints m's current state, best-effort: an encode failure (a
+// non-checkpointable custom stream) or store failure only means the next
+// run starts colder.
+func (ck *checkpointer) save(m machine) {
+	if !ck.enabled() || m.Ticks() == 0 {
+		return
+	}
+	if ck.snaps.Has(ck.key, m.Ticks()) {
+		return
+	}
+	data, err := m.Snapshot()
+	if err != nil {
+		return
+	}
+	ck.snaps.Save(ck.key, m.Ticks(), data)
+}
+
+// runAloneCell computes one alone-IPC reference, resuming from and
+// writing checkpoints like runSimCell. The alone result is cumulative
+// (no warmup mark), so any checkpoint at or below the horizon resumes
+// it. Unlike sim cells, alone runs checkpoint only their final tick:
+// a single-core reference simulates ticks about as fast as a checkpoint
+// encodes, so grid checkpoints would cost more than they could ever
+// save, while the final state is exactly what horizon extensions resume
+// from.
+func runAloneCell(ctx context.Context, snaps *engine.SnapStore, interval int,
+	src workload.Source, seed uint64, ticks int) (float64, error) {
+	ck := checkpointer{snaps: snaps, interval: interval, key: aloneTrajectoryKey(src, seed)}
+	var a *aloneRun
+	ck.resumeLongest(ctx, ticks, func(t int, data []byte) bool {
+		r, err := restoreAloneRun(src, seed, data)
+		if err != nil || r.Ticks() != t {
+			return false
+		}
+		a = r
+		return true
+	})
+	if a == nil {
+		a = newAloneRun(src, seed)
+	}
+	if err := a.RunTo(ctx, ticks); err != nil {
+		return 0, err
+	}
+	ck.save(a)
+	return a.ipc(), nil
+}
+
 // aloneCellKey names an alone-IPC reference cell.
 func aloneCellKey(src workload.Source, seed uint64, ticks int) string {
 	return fmt.Sprintf("alone/v2 wl=%s seed=%d ticks=%d", src.Key(), seed, ticks)
 }
 
 // aloneCell builds the cell that computes one workload's alone-IPC
-// reference for weighted speedup.
-func aloneCell(src workload.Source, seed uint64, ticks int) engine.Cell[CellResult] {
+// reference for weighted speedup, resumable under lab's checkpoint
+// policy like simCell.
+func aloneCell(lab *Engine, src workload.Source, seed uint64, ticks int) engine.Cell[CellResult] {
 	return engine.Cell[CellResult]{
 		Key: aloneCellKey(src, seed, ticks),
 		Run: func(ctx context.Context) (CellResult, error) {
-			alone, err := AloneIPCSourceContext(ctx, src, seed, ticks)
+			alone, err := runAloneCell(ctx, lab.snaps, lab.snapInterval, src, seed, ticks)
 			if err != nil {
 				return CellResult{}, err
 			}

@@ -69,25 +69,57 @@ func AloneIPCContext(ctx context.Context, p workload.Profile, seed uint64, ticks
 // workload source (profile or trace) on the unloaded fixed-latency
 // memory.
 func AloneIPCSourceContext(ctx context.Context, src workload.Source, seed uint64, ticks int) (float64, error) {
+	a := newAloneRun(src, seed)
+	if err := a.RunTo(ctx, ticks); err != nil {
+		return 0, err
+	}
+	return a.ipc(), nil
+}
+
+// aloneRun is the alone-IPC reference machine: one core on an unloaded
+// fixed-latency memory. Like System it advances in ticks and supports
+// bit-identical Snapshot/restore, so alone reference cells are just as
+// prefix-cached as full-system cells.
+type aloneRun struct {
+	mem    *aloneMemory
+	c      *cpu.Core
+	budget float64
+	tick   int
+	key    string // alone trajectory key, embedded in snapshots
+}
+
+func newAloneRun(src workload.Source, seed uint64) *aloneRun {
 	mem := &aloneMemory{latencyTicks: 72, llc: cache.MustNew(8<<20, 8, 64)}
-	gen := src.Stream(seed)
-	c := cpu.New(0, gen, mem)
+	c := cpu.New(0, src.Stream(seed), mem)
 	mem.c = c
-	budget := 0.0
-	for i := 0; i < ticks; i++ {
-		if i&(ctxCheckTicks-1) == 0 {
+	return &aloneRun{mem: mem, c: c, key: aloneTrajectoryKey(src, seed)}
+}
+
+// Ticks reports the absolute tick the run has reached.
+func (a *aloneRun) Ticks() int { return a.tick }
+
+// RunTo advances to the absolute tick target, polling ctx.
+func (a *aloneRun) RunTo(ctx context.Context, target int) error {
+	for ; a.tick < target; a.tick++ {
+		if a.tick&(ctxCheckTicks-1) == 0 {
 			if err := ctx.Err(); err != nil {
-				return 0, err
+				return err
 			}
 		}
-		budget += 4 * cpuCyclesPerTick
-		if whole := int(budget); whole > 0 {
-			c.Tick(float64(whole))
-			budget -= float64(whole)
+		a.budget += 4 * cpuCyclesPerTick
+		if whole := int(a.budget); whole > 0 {
+			a.c.Tick(float64(whole))
+			a.budget -= float64(whole)
 		}
-		mem.step()
+		a.mem.step()
 	}
-	return c.IPC(float64(ticks) * cpuCyclesPerTick), nil
+	return nil
+}
+
+// ipc reports the cumulative IPC at the current tick (the alone cell's
+// result; cumulative, so it is independent of how the run was split).
+func (a *aloneRun) ipc() float64 {
+	return a.c.IPC(float64(a.tick) * cpuCyclesPerTick)
 }
 
 // aloneSeed derives the deterministic per-core workload seed used both by
@@ -134,6 +166,18 @@ type Options struct {
 	// cell hash, so re-running a sweep after a crash or with one new
 	// policy only simulates the delta. Ignored on a shared Engine.
 	ResultDir string
+	// SnapInterval, when positive, checkpoints every simulation cell's
+	// machine state each SnapInterval ticks (plus at the warmup boundary
+	// and the final tick), and resumes cells from the longest usable
+	// checkpoint — so rerunning a sweep with longer horizons simulates
+	// only the delta. Checkpoints live alongside ResultDir's cells (or in
+	// memory without one). Results are bit-identical at any setting.
+	// Ignored on a shared Engine.
+	SnapInterval int
+	// SnapMaxBytes caps the checkpoint store; <= 0 means 2 GiB on disk
+	// (256 MiB in memory). The least-recently-used checkpoints are
+	// evicted first. Ignored on a shared Engine.
+	SnapMaxBytes int64
 	// Progress, when set, is called as a batch's cells resolve.
 	Progress func(done, total int)
 	// Stats, when set, accumulates the engine's resolution tallies
@@ -174,7 +218,9 @@ func (o Options) withDefaults() Options {
 // (e.g. service clients) asking overlapping questions trigger each
 // simulation exactly once. Safe for concurrent use.
 type Engine struct {
-	eng *experimentEngine
+	eng          *experimentEngine
+	snaps        *engine.SnapStore
+	snapInterval int
 }
 
 // EngineConfig sizes a shared Engine.
@@ -184,14 +230,41 @@ type EngineConfig struct {
 	Parallelism int
 	// ResultDir, when non-empty, is the content-addressed result store.
 	ResultDir string
+	// SnapInterval, when positive, enables resumable simulation cells:
+	// each cell's machine state is checkpointed every SnapInterval ticks
+	// (plus at the warmup boundary and the final tick) into a bounded
+	// store sharing ResultDir's sharded layout (in-memory without a
+	// ResultDir), and cells resume from the longest usable checkpoint at
+	// or below their horizon. Results are bit-identical either way.
+	SnapInterval int
+	// SnapMaxBytes caps the checkpoint store's payload bytes; <= 0 means
+	// 2 GiB on disk (256 MiB in memory). Least-recently-used checkpoints
+	// are evicted first.
+	SnapMaxBytes int64
 }
 
 // NewEngine builds a shared experiment engine.
 func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{eng: engine.New[CellResult](engine.Options{
-		Parallelism: cfg.Parallelism,
-		ResultDir:   cfg.ResultDir,
-	})}
+	e := &Engine{
+		eng: engine.New[CellResult](engine.Options{
+			Parallelism: cfg.Parallelism,
+			ResultDir:   cfg.ResultDir,
+		}),
+		snapInterval: cfg.SnapInterval,
+	}
+	if cfg.SnapInterval > 0 {
+		e.snaps = engine.NewSnapStore(cfg.ResultDir, cfg.SnapMaxBytes)
+	}
+	return e
+}
+
+// SnapshotStats reports the checkpoint store's tallies; ok is false when
+// checkpointing is disabled.
+func (e *Engine) SnapshotStats() (engine.SnapStats, bool) {
+	if e.snaps == nil {
+		return engine.SnapStats{}, false
+	}
+	return e.snaps.Stats(), true
 }
 
 // Stats returns the engine's lifetime resolution tallies across every
@@ -207,7 +280,12 @@ func (e *Engine) Parallelism() int { return e.eng.Parallelism() }
 // newSweepEngine builds the single-sweep engine the one-shot entry
 // points use when no shared Engine is supplied.
 func newSweepEngine(opts Options) *Engine {
-	return NewEngine(EngineConfig{Parallelism: opts.Parallelism, ResultDir: opts.ResultDir})
+	return NewEngine(EngineConfig{
+		Parallelism:  opts.Parallelism,
+		ResultDir:    opts.ResultDir,
+		SnapInterval: opts.SnapInterval,
+		SnapMaxBytes: opts.SnapMaxBytes,
+	})
 }
 
 // PolicyScore is the average weighted speedup of one policy under one
@@ -240,7 +318,7 @@ func RunPolicies(ctx context.Context, base Config, policies []RefreshPolicy, opt
 // RunPolicies evaluates each policy on the same mixes on the shared
 // engine.
 func (e *Engine) RunPolicies(ctx context.Context, base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
-	return runPolicies(ctx, e.eng, base, policies, opts.withDefaults())
+	return runPolicies(ctx, e, base, policies, opts.withDefaults())
 }
 
 // sourceMixes returns the workload set a sweep runs: opts.Mixes when the
@@ -270,11 +348,11 @@ func (o Options) sourceMixes() ([]workload.SourceMix, error) {
 	return o.Mixes, nil
 }
 
-// runPolicies submits one batch to eng: the alone-IPC reference cells the
-// mixes need, plus one simulation cell per (policy, mix), then assembles
-// weighted speedups from the resolved results. opts must already have
-// defaults applied.
-func runPolicies(ctx context.Context, eng *experimentEngine, base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
+// runPolicies submits one batch to the lab's engine: the alone-IPC
+// reference cells the mixes need, plus one simulation cell per
+// (policy, mix), then assembles weighted speedups from the resolved
+// results. opts must already have defaults applied.
+func runPolicies(ctx context.Context, lab *Engine, base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
 	mixes, err := opts.sourceMixes()
 	if err != nil {
 		return nil, err
@@ -292,7 +370,7 @@ func runPolicies(ctx context.Context, eng *experimentEngine, base Config, polici
 			if !ok {
 				idx = len(cells)
 				aloneIdx[key] = idx
-				cells = append(cells, aloneCell(src, seed, opts.Measure))
+				cells = append(cells, aloneCell(lab, src, seed, opts.Measure))
 			}
 			aloneRefs[mi][c] = idx
 		}
@@ -304,11 +382,11 @@ func runPolicies(ctx context.Context, eng *experimentEngine, base Config, polici
 		cfg.Policy = pol
 		cfg.Seed = opts.Seed
 		for _, mix := range mixes {
-			cells = append(cells, simCell(cfg, mix, opts.Warmup, opts.Measure))
+			cells = append(cells, simCell(lab, cfg, mix, opts.Warmup, opts.Measure))
 		}
 	}
 
-	results, batch, err := eng.RunWith(ctx, cells, engine.RunOptions{OnProgress: opts.Progress})
+	results, batch, err := lab.eng.RunWith(ctx, cells, engine.RunOptions{OnProgress: opts.Progress})
 	if opts.Stats != nil {
 		opts.Stats.Add(batch)
 	}
@@ -374,7 +452,7 @@ func (e *Engine) Fig9(ctx context.Context, opts Options, capacities []int) ([]Fi
 	for _, cap := range capacities {
 		base := DefaultConfig()
 		base.ChipCapacityGbit = cap
-		scores, err := runPolicies(ctx, e.eng, base, policies, opts)
+		scores, err := runPolicies(ctx, e, base, policies, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -427,7 +505,7 @@ func (e *Engine) Fig12(ctx context.Context, opts Options, nrhs []int) ([]Fig12Ro
 			PARAHiRAPolicy(nrh, 0), PARAHiRAPolicy(nrh, 2),
 			PARAHiRAPolicy(nrh, 4), PARAHiRAPolicy(nrh, 8),
 		}
-		scores, err := runPolicies(ctx, e.eng, DefaultConfig(), policies, opts)
+		scores, err := runPolicies(ctx, e, DefaultConfig(), policies, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -475,7 +553,7 @@ func scaleSweep(ctx context.Context, e *Engine, opts Options, xs []int, params [
 			} else {
 				base.Ranks = x
 			}
-			scores, err := runPolicies(ctx, e.eng, base, mkPolicies(param), opts)
+			scores, err := runPolicies(ctx, e, base, mkPolicies(param), opts)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"hira/internal/dram"
+	"hira/internal/sched"
+	"hira/internal/snap"
+	"hira/internal/workload"
+)
+
+// snapshotMagic identifies version 1 of the System snapshot format. The
+// composite format is versioned as a whole: any structural change to a
+// layer's codec bumps this string, and old checkpoints read as clean
+// misses (the cell runner falls back to simulating from tick zero).
+const snapshotMagic = "HIRASYS1"
+
+// maxSnapshotBytes bounds how large a snapshot RestoreSystem will look
+// at, so a mislabeled or hostile checkpoint cannot exhaust memory. Real
+// snapshots are dominated by the LLC (a few MB).
+const maxSnapshotBytes = 64 << 20
+
+// trajectoryKey names a simulation's state trajectory: every input that
+// shapes the machine's evolution — system shape, refresh policy
+// behavior, per-core workload identities, and seed — but, unlike
+// simCellKey, not the warmup/measure horizons. Two cells that differ
+// only in tick counts walk the same trajectory, so a checkpoint taken at
+// tick T under this key resumes any of them. The field set deliberately
+// mirrors simCellKey's: any input that distinguishes two sim cells other
+// than the horizons must distinguish their trajectories too.
+func trajectoryKey(cfg Config, mix workload.SourceMix) string {
+	wl := make([]string, len(mix.Sources))
+	for i, s := range mix.Sources {
+		wl[i] = s.Key()
+	}
+	cov := cfg.SPTCoverage
+	if cov == 0 {
+		cov = defaultSPTCoverage
+	}
+	return fmt.Sprintf(
+		"traj/v1 cores=%d cap=%d ch=%d rk=%d spt=%g seed=%d per=%d prev=%d slack=%d nrh=%d wl=%s",
+		cfg.Cores, cfg.ChipCapacityGbit, cfg.Channels, cfg.Ranks, cov, cfg.Seed,
+		cfg.Policy.Periodic, cfg.Policy.Preventive, cfg.Policy.SlackTRC, cfg.Policy.NRH,
+		strings.Join(wl, ","))
+}
+
+// Snapshot serializes the machine's complete mutable state — cores and
+// their workload stream positions, LLC, memory controller, refresh
+// engine, and system-level carry state — into a versioned binary
+// checkpoint. Restoring it with RestoreSystem yields a system whose
+// subsequent commands, stats, and IPC are bit-identical to this one's
+// (see TestResumeEquivalence). It fails only when a core runs a custom
+// workload stream that does not support position snapshots.
+func (s *System) Snapshot() ([]byte, error) {
+	// Dominated by the LLC's bulk-encoded line state (~17 bytes/line);
+	// 1/4 headroom covers everything else without a growth copy.
+	w := snap.NewWriterSize(s.llc.SnapshotSize() * 5 / 4)
+	w.Raw([]byte(snapshotMagic))
+	w.String(trajectoryKey(s.cfg, s.mix))
+	w.Int(s.ticksRun)
+	w.F64(s.instrBudget)
+	for _, b := range s.blocked {
+		w.Bool(b)
+	}
+	w.Len(s.wb.len())
+	for i := 0; i < s.wb.n; i++ {
+		req := s.wb.buf[(s.wb.head+i)%len(s.wb.buf)]
+		w.Int(req.Loc.Channel)
+		w.Int(req.Loc.Rank)
+		w.Int(req.Loc.Bank)
+		w.Int(req.Loc.Row)
+		w.Int(req.Loc.Col)
+		w.Int(req.Core)
+	}
+	for _, c := range s.cores {
+		if err := c.Snapshot(w); err != nil {
+			return nil, err
+		}
+	}
+	s.llc.Snapshot(w)
+	s.ctrl.Snapshot(w)
+	s.engine.Snapshot(w)
+	return w.Bytes(), nil
+}
+
+// aloneMagic identifies version 1 of the alone-run snapshot format.
+const aloneMagic = "HIRAALN1"
+
+// aloneTrajectoryKey names an alone-IPC reference run's trajectory: its
+// workload identity and seed, horizon-free for the same reason
+// trajectoryKey is.
+func aloneTrajectoryKey(src workload.Source, seed uint64) string {
+	return fmt.Sprintf("alonetraj/v1 wl=%s seed=%d", src.Key(), seed)
+}
+
+// Snapshot serializes the alone-run's state: carry budget, core (with
+// its stream position), LLC, and in-flight fixed-latency loads.
+func (a *aloneRun) Snapshot() ([]byte, error) {
+	w := snap.NewWriterSize(a.mem.llc.SnapshotSize() * 5 / 4)
+	w.Raw([]byte(aloneMagic))
+	w.String(a.key)
+	w.Int(a.tick)
+	w.F64(a.budget)
+	if err := a.c.Snapshot(w); err != nil {
+		return nil, err
+	}
+	a.mem.llc.Snapshot(w)
+	w.Len(len(a.mem.inflight))
+	for _, req := range a.mem.inflight {
+		w.U64(req.token)
+		w.Int(req.left)
+	}
+	return w.Bytes(), nil
+}
+
+// restoreAloneRun rebuilds the alone-run for (src, seed) and restores
+// the checkpoint into it; any mismatch, corruption, or truncation is an
+// error the cell runner treats as a miss.
+func restoreAloneRun(src workload.Source, seed uint64, data []byte) (*aloneRun, error) {
+	if len(data) > maxSnapshotBytes {
+		return nil, fmt.Errorf("sim: snapshot exceeds the %d-byte limit", maxSnapshotBytes)
+	}
+	if len(data) < len(aloneMagic) || string(data[:len(aloneMagic)]) != aloneMagic {
+		return nil, fmt.Errorf("sim: not a %s snapshot", aloneMagic)
+	}
+	a := newAloneRun(src, seed)
+	r := snap.NewReader(data[len(aloneMagic):])
+	if key := r.String(); key != a.key {
+		return nil, fmt.Errorf("sim: snapshot is for a different alone trajectory (%q)", key)
+	}
+	a.tick = r.Int()
+	a.budget = r.F64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if a.tick < 0 {
+		return nil, fmt.Errorf("sim: snapshot tick count %d out of range", a.tick)
+	}
+	if !(a.budget >= 0 && a.budget < 8) {
+		return nil, fmt.Errorf("sim: snapshot instruction budget %v out of range", a.budget)
+	}
+	if err := a.c.Restore(r); err != nil {
+		return nil, err
+	}
+	if err := a.mem.llc.Restore(r); err != nil {
+		return nil, err
+	}
+	n := r.Len(a.c.Window, 2)
+	for i := 0; i < n; i++ {
+		req := aloneReq{token: r.U64(), left: r.Int()}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if req.left < 1 || req.left > a.mem.latencyTicks {
+			return nil, fmt.Errorf("sim: in-flight load %d latency %d out of range", i, req.left)
+		}
+		a.mem.inflight = append(a.mem.inflight, req)
+	}
+	r.Done()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// RestoreSystem rebuilds the machine for (cfg, mix) and restores the
+// checkpoint into it. The snapshot embeds its trajectory key, so
+// restoring into a differently configured system — or a hash-colliding
+// checkpoint — fails cleanly, as does any corrupt or truncated input:
+// callers treat every error as a cache miss and simulate from scratch.
+func RestoreSystem(cfg Config, mix workload.SourceMix, data []byte) (*System, error) {
+	if len(data) > maxSnapshotBytes {
+		return nil, fmt.Errorf("sim: snapshot exceeds the %d-byte limit", maxSnapshotBytes)
+	}
+	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("sim: not a %s snapshot", snapshotMagic)
+	}
+	s, err := NewSystem(cfg, mix)
+	if err != nil {
+		return nil, err
+	}
+	r := snap.NewReader(data[len(snapshotMagic):])
+	if key := r.String(); key != trajectoryKey(cfg, mix) {
+		return nil, fmt.Errorf("sim: snapshot is for a different trajectory (%q)", key)
+	}
+	s.ticksRun = r.Int()
+	s.instrBudget = r.F64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// The controller clock advances exactly one tCK per tick; a snapshot
+	// violating that is corrupt (and huge tick counts would overflow the
+	// cross-check).
+	if s.ticksRun < 0 || int64(s.ticksRun) > (int64(1)<<53)/int64(s.timing.TCK) {
+		return nil, fmt.Errorf("sim: snapshot tick count %d out of range", s.ticksRun)
+	}
+	// The fractional instruction budget lives in [0, 1); anything larger
+	// would hand a restored core an absurd slot budget.
+	if !(s.instrBudget >= 0 && s.instrBudget < 8) {
+		return nil, fmt.Errorf("sim: snapshot instruction budget %v out of range", s.instrBudget)
+	}
+	for i := range s.blocked {
+		s.blocked[i] = r.Bool()
+	}
+	wbN := r.Len(maxSnapshotBytes, 5)
+	for i := 0; i < wbN; i++ {
+		var req sched.Request
+		req.Write = true
+		req.Loc.Channel = r.Int()
+		req.Loc.Rank = r.Int()
+		req.Loc.Bank = r.Int()
+		req.Loc.Row = r.Int()
+		req.Loc.Col = r.Int()
+		req.Core = r.Int()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if req.Loc.Channel < 0 || req.Loc.Channel >= s.org.Channels ||
+			req.Loc.Rank < 0 || req.Loc.Rank >= s.org.RanksPerChannel ||
+			req.Loc.Bank < 0 || req.Loc.Bank >= s.org.BanksPerRank() ||
+			req.Loc.Row < 0 || req.Loc.Row >= s.org.RowsPerBank() ||
+			req.Loc.Col < 0 ||
+			req.Core < 0 || req.Core >= cfg.Cores {
+			return nil, fmt.Errorf("sim: buffered writeback %d out of range", i)
+		}
+		s.wb.push(req)
+	}
+	for _, c := range s.cores {
+		if err := c.Restore(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.llc.Restore(r); err != nil {
+		return nil, err
+	}
+	if err := s.ctrl.Restore(r, cfg.Cores); err != nil {
+		return nil, err
+	}
+	if s.ctrl.Now() != dram.Time(s.ticksRun)*s.timing.TCK {
+		return nil, fmt.Errorf("sim: snapshot clock %v disagrees with tick count %d",
+			s.ctrl.Now(), s.ticksRun)
+	}
+	if err := s.engine.Restore(r, s.ctrl.Now()); err != nil {
+		return nil, err
+	}
+	r.Done()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for i := range s.idleDirty {
+		s.idleDirty[i] = true
+	}
+	return s, nil
+}

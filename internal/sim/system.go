@@ -166,6 +166,7 @@ func (r *wbRing) len() int { return r.n }
 // System is a fully wired simulated machine.
 type System struct {
 	cfg    Config
+	mix    workload.SourceMix
 	org    dram.Org
 	timing dram.Timing
 	ctrl   *sched.Controller
@@ -178,12 +179,18 @@ type System struct {
 	// Every core accrues identically (4 issue slots per CPU cycle), so a
 	// single accumulator serves them all.
 	instrBudget float64
-	retiredAt   []uint64 // retirement snapshot after warmup
 	// blocked caches cores whose instruction window is full: their tick
 	// reduces to stall accounting until a completion clears the flag.
 	blocked  []bool
 	ticksRun int
 	wb       wbRing
+
+	// idleMemo caches each core's last IdleTicks answer behind a dirty
+	// flag, so the idle-window probe after a busy tick rescans only cores
+	// whose issue state actually moved (a blocked core's stall accrual
+	// does not). Cleared on issue, skip, and completion.
+	idleMemo  []int
+	idleDirty []bool
 }
 
 // coreMemory adapts the system as each core's cpu.Memory.
@@ -258,14 +265,19 @@ func NewSystem(cfg Config, mix workload.SourceMix) (*System, error) {
 
 	s := &System{
 		cfg:       cfg,
+		mix:       mix,
 		org:       org,
 		timing:    timing,
 		ctrl:      ctrl,
 		engine:    engine,
 		llc:       cache.MustNew(8<<20, 8, 64),
 		mapper:    dram.NewMOPMapper(org),
-		retiredAt: make([]uint64, cfg.Cores),
 		blocked:   make([]bool, cfg.Cores),
+		idleMemo:  make([]int, cfg.Cores),
+		idleDirty: make([]bool, cfg.Cores),
+	}
+	for i := range s.idleDirty {
+		s.idleDirty[i] = true
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		gen := mix.Sources[i].Stream(aloneSeed(cfg.Seed, i))
@@ -283,6 +295,7 @@ func NewSystem(cfg Config, mix workload.SourceMix) (*System, error) {
 func (s *System) complete(core int, token uint64) {
 	s.cores[core].Complete(token)
 	s.blocked[core] = false
+	s.idleDirty[core] = true
 }
 
 // Controller exposes the memory controller (for inspection).
@@ -328,12 +341,15 @@ func (s *System) Tick() {
 		for i, c := range s.cores {
 			if s.blocked[i] {
 				// A full window only stalls until a completion clears
-				// the flag; this is exactly what Tick would do.
+				// the flag; this is exactly what Tick would do — and it
+				// leaves the core's idle horizon untouched, so the memo
+				// stays valid.
 				c.StallCycles += budget
 				continue
 			}
 			c.Tick(budget)
 			s.blocked[i] = c.Blocked()
+			s.idleDirty[i] = true
 		}
 	}
 	s.ctrl.Tick()
@@ -359,8 +375,14 @@ func (s *System) idleTicks(max int) int {
 			k = w
 		}
 	}
-	for _, c := range s.cores {
-		if h := c.IdleTicks(maxSlotsPerTick); h < k {
+	for i, c := range s.cores {
+		h := s.idleMemo[i]
+		if s.idleDirty[i] {
+			h = c.IdleTicks(maxSlotsPerTick)
+			s.idleMemo[i] = h
+			s.idleDirty[i] = false
+		}
+		if h < k {
 			k = h
 		}
 		if k <= 0 {
@@ -386,6 +408,13 @@ func (s *System) fastForward(k int) {
 		}
 	}
 	s.instrBudget = b
+	for i := range s.idleDirty {
+		// A blocked core's Skip only accrues stall cycles; its idle
+		// horizon (unbounded until a completion) is unchanged.
+		if !s.blocked[i] {
+			s.idleDirty[i] = true
+		}
+	}
 	s.ctrl.SkipTicks(k)
 	s.ticksRun += k
 }
@@ -424,6 +453,60 @@ func (s *System) runTicks(ctx context.Context, n int) error {
 	return nil
 }
 
+// Ticks reports how many command-clock ticks the system has simulated
+// since construction (or since the tick its restoring snapshot was taken
+// at).
+func (s *System) Ticks() int { return s.ticksRun }
+
+// RunTo advances the system to the absolute tick target (Ticks() ==
+// target afterwards), fast-forwarding idle windows and honoring ctx. It
+// is the primitive beneath Run and the checkpointing cell runner: a
+// system restored from a snapshot at tick T continues with RunTo exactly
+// where the snapshotted run left off.
+func (s *System) RunTo(ctx context.Context, target int) error {
+	if target < s.ticksRun {
+		return fmt.Errorf("sim: cannot run to tick %d, already at %d", target, s.ticksRun)
+	}
+	return s.runTicks(ctx, target-s.ticksRun)
+}
+
+// runMark captures the cumulative counters at a phase boundary, so the
+// measured phase's stats and IPC can be computed as differences of
+// cumulative state. Keeping the machine's trajectory free of in-run
+// resets is what lets a snapshot taken at any tick serve runs with any
+// warmup/measure split.
+type runMark struct {
+	sched   sched.Stats
+	retired []uint64
+}
+
+// mark records the counters at the current tick.
+func (s *System) mark() runMark {
+	m := runMark{sched: s.ctrl.Stats, retired: make([]uint64, len(s.cores))}
+	for i, c := range s.cores {
+		m.retired[i] = c.Retired
+	}
+	return m
+}
+
+// zeroMark is the mark of a freshly built system (tick 0).
+func zeroMark(cores int) runMark {
+	return runMark{retired: make([]uint64, cores)}
+}
+
+// resultSince assembles the measured-phase result from the counters
+// accumulated since m, over measure ticks. All counters are monotone and
+// additive, so the difference is bit-identical to what resetting them at
+// the mark would have measured.
+func (s *System) resultSince(m runMark, measure int) Result {
+	res := Result{Ticks: measure, Sched: s.ctrl.Stats.Sub(m.sched), LLCHitRate: s.llc.HitRate()}
+	cycles := float64(measure) * cpuCyclesPerTick
+	for i, c := range s.cores {
+		res.IPC = append(res.IPC, float64(c.Retired-m.retired[i])/cycles)
+	}
+	return res
+}
+
 // Run executes warmup then measure ticks and returns the measured-phase
 // result. IPCAlone (same order as cores) feeds the weighted speedup; pass
 // nil to skip it.
@@ -439,18 +522,11 @@ func (s *System) RunContext(ctx context.Context, warmup, measure int, ipcAlone [
 	if err := s.runTicks(ctx, warmup); err != nil {
 		return Result{}, err
 	}
-	for i := range s.cores {
-		s.retiredAt[i] = s.cores[i].Retired
-	}
-	s.ctrl.Stats = sched.Stats{}
+	m := s.mark()
 	if err := s.runTicks(ctx, measure); err != nil {
 		return Result{}, err
 	}
-	res := Result{Ticks: measure, Sched: s.ctrl.Stats, LLCHitRate: s.llc.HitRate()}
-	cycles := float64(measure) * cpuCyclesPerTick
-	for i, c := range s.cores {
-		res.IPC = append(res.IPC, float64(c.Retired-s.retiredAt[i])/cycles)
-	}
+	res := s.resultSince(m, measure)
 	if ipcAlone != nil {
 		res.WeightedSpeedup = metrics.WeightedSpeedup(res.IPC, ipcAlone)
 	}

@@ -1,0 +1,58 @@
+package workload
+
+import "hira/internal/snap"
+
+// StreamState is implemented by streams whose position can be saved into
+// a checkpoint and restored bit-identically: after RestoreState, the
+// stream produces exactly the accesses the snapshotted stream would have
+// produced next. Both builtin stream kinds implement it (the synthetic
+// Generator saves its RNG and streaming cursor, the trace player its
+// offset); a custom Source whose Stream does not is simply not
+// checkpointable, which the sim layer reports as a clean
+// cannot-snapshot error rather than a corrupt checkpoint.
+type StreamState interface {
+	Stream
+	// SnapshotState appends the stream's mutable position to w.
+	SnapshotState(w *snap.Writer)
+	// RestoreState reads a position written by SnapshotState. Corrupt
+	// input surfaces through r's sticky error or the returned error;
+	// either way the stream must stay safe to use.
+	RestoreState(r *snap.Reader) error
+}
+
+// SnapshotState implements StreamState: the generator's position is its
+// RNG state and streaming cursor (profile parameters and the footprint
+// base are reconstructed from the source and seed).
+func (g *Generator) SnapshotState(w *snap.Writer) {
+	w.U64(g.rng)
+	w.U64(g.cursor)
+}
+
+// RestoreState implements StreamState. Any cursor is safe: the next
+// access re-derives it modulo the footprint mask.
+func (g *Generator) RestoreState(r *snap.Reader) error {
+	g.rng = r.U64()
+	g.cursor = r.U64()
+	return r.Err()
+}
+
+// SnapshotState implements StreamState for trace playback: the position
+// is the replay offset.
+func (p *tracePlayer) SnapshotState(w *snap.Writer) {
+	w.Int(p.pos)
+}
+
+// RestoreState implements StreamState, rejecting offsets outside the
+// trace (a corrupt offset would panic the player on its next access).
+func (p *tracePlayer) RestoreState(r *snap.Reader) error {
+	pos := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if pos < 0 || pos >= len(p.accesses) {
+		r.Failf("trace position %d outside [0, %d)", pos, len(p.accesses))
+		return r.Err()
+	}
+	p.pos = pos
+	return nil
+}
