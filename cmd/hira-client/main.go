@@ -158,11 +158,20 @@ func run() int {
 	id := job.ID
 	fmt.Fprintf(os.Stderr, "job %s %s\n", id, job.State)
 
-	var onProgress func(done, total int)
+	var onProgress func(p service.Progress)
 	if *progress {
-		onProgress = func(done, total int) { fmt.Fprintf(os.Stderr, "\rcells %d/%d", done, total) }
+		onProgress = func(p service.Progress) {
+			line := fmt.Sprintf("\rcells %d/%d", p.Done, p.Total)
+			if hits := p.CacheHits + p.StoreHits; hits > 0 || p.Simulated > 0 {
+				line += fmt.Sprintf(" (%d simulated, %d cached)", p.Simulated, hits)
+			}
+			if p.Resumed > 0 {
+				line += fmt.Sprintf(", %d resumed sparing %d ticks", p.Resumed, p.ResumedTicks)
+			}
+			fmt.Fprint(os.Stderr, line)
+		}
 	}
-	job, err = c.Wait(ctx, id, onProgress)
+	job, err = c.WaitProgress(ctx, id, onProgress)
 	if *progress {
 		fmt.Fprintln(os.Stderr)
 	}
@@ -198,6 +207,15 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "engine: %d cells (%d simulated, %d cache hits, %d store hits, %d deduped)\n",
 				job.Stats.Submitted, job.Stats.Simulated, job.Stats.CacheHits,
 				job.Stats.StoreHits, job.Stats.Deduped)
+			if job.Stats.Resumed > 0 {
+				fmt.Fprintf(os.Stderr, "resume: %d cells resumed from checkpoints, sparing %d simulation ticks\n",
+					job.Stats.Resumed, job.Stats.ResumedTicks)
+			}
+		}
+		if rep, err := c.Stats(ctx); err == nil && rep.Snapshots != nil {
+			s := rep.Snapshots
+			fmt.Fprintf(os.Stderr, "snapshots: %d hits, %d misses, %d saved, %d evicted (%d entries, %d bytes)\n",
+				s.Hits, s.Misses, s.Saves, s.Evictions, s.Entries, s.Bytes)
 		}
 		return 0
 	case service.StateCancelled:

@@ -14,8 +14,10 @@
 //	GET    /v1/jobs/{id}        job status; result once done
 //	GET    /v1/jobs/{id}/stream server-sent events: progress + final state
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace  per-job span timeline (?format=chrome for chrome://tracing)
 //	GET    /v1/stats            shared-engine tallies and job counts
 //	GET    /v1/healthz          liveness
+//	GET    /metrics             Prometheus exposition of engine/store/job metrics
 package main
 
 import (
@@ -23,24 +25,29 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
 
 	"hira/internal/service"
 	"hira/internal/sim"
+	"hira/internal/telemetry"
 )
 
 var (
-	addr     = flag.String("addr", ":8080", "listen address")
-	results  = flag.String("results", "", "content-addressed cell store directory (durable across restarts)")
-	parallel = flag.Int("parallel", 0, "max concurrent cell simulations across all jobs (0 = one per CPU core)")
-	workers  = flag.Int("workers", 2, "max concurrently executing jobs")
-	queue    = flag.Int("queue", 64, "max queued jobs before submissions get 503")
-	traceDir = flag.String("traces", "", "directory of recorded trace files job specs may reference (empty rejects trace workloads)")
-	snapIvl  = flag.Int("snap-interval", 50000, "ticks between simulation checkpoints; resubmitting a sweep with longer horizons then simulates only the delta (0 disables)")
-	snapMax  = flag.Int64("snap-max-bytes", 0, "checkpoint store byte cap with oldest-first eviction (0 = 2 GiB on disk, 256 MiB in memory)")
+	addr      = flag.String("addr", ":8080", "listen address")
+	results   = flag.String("results", "", "content-addressed cell store directory (durable across restarts)")
+	parallel  = flag.Int("parallel", 0, "max concurrent cell simulations across all jobs (0 = one per CPU core)")
+	workers   = flag.Int("workers", 2, "max concurrently executing jobs")
+	queue     = flag.Int("queue", 64, "max queued jobs before submissions get 503")
+	traceDir  = flag.String("traces", "", "directory of recorded trace files job specs may reference (empty rejects trace workloads)")
+	snapIvl   = flag.Int("snap-interval", 50000, "ticks between simulation checkpoints; resubmitting a sweep with longer horizons then simulates only the delta (0 disables)")
+	snapMax   = flag.Int64("snap-max-bytes", 0, "checkpoint store byte cap with oldest-first eviction (0 = 2 GiB on disk, 256 MiB in memory)")
+	pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	quiet     = flag.Bool("quiet", false, "suppress structured job lifecycle logs on stderr")
 )
 
 func main() {
@@ -49,6 +56,12 @@ func main() {
 }
 
 func run() int {
+	reg := telemetry.NewRegistry()
+	reg.RegisterProcessMetrics()
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	svc := service.New(service.Config{
 		Engine: sim.EngineConfig{
 			Parallelism:  *parallel,
@@ -59,10 +72,25 @@ func run() int {
 		Workers:    *workers,
 		QueueDepth: *queue,
 		TraceDir:   *traceDir,
+		Telemetry:  reg,
+		Logger:     logger,
 	})
 	defer svc.Close()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofFlag {
+		// Profiling rides an outer mux so the service API stays unaware
+		// of it: /debug/pprof/ only exists when explicitly enabled.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "hira-server listening on %s (workers=%d, parallel=%d, store=%q)\n",

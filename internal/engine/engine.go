@@ -34,6 +34,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"hira/internal/telemetry"
 )
 
 // Cell is one addressable, schedulable, memoizable unit of work.
@@ -136,12 +139,21 @@ type Options struct {
 	// the batch size, from worker goroutines but never concurrently
 	// within one batch.
 	OnProgress func(done, total int)
+	// Metrics, when non-nil, receives the engine's duration and
+	// singleflight observations (see Metrics). Count-style tallies stay
+	// in Stats; expose those via RegisterStatsFuncs.
+	Metrics *Metrics
 }
 
 // RunOptions configures one Run batch on a shared engine.
 type RunOptions struct {
 	// OnProgress overrides Options.OnProgress for this batch.
 	OnProgress func(done, total int)
+	// OnProgressStats, when set, supersedes OnProgress: it additionally
+	// receives a snapshot of the batch's resolution tally so far, so
+	// streaming consumers can report cache hits and resumed ticks while
+	// the batch is still running, not just at the end.
+	OnProgressStats func(done, total int, batch Stats)
 }
 
 // flight is one in-progress cell computation other batches can wait on.
@@ -220,6 +232,7 @@ func (e *Engine[R]) RunWith(ctx context.Context, cells []Cell[R], ropts RunOptio
 	if onProgress == nil {
 		onProgress = e.opts.OnProgress
 	}
+	onProgressStats := ropts.OnProgressStats
 	results := make([]R, len(cells))
 
 	// Collapse the batch to unique keys, remembering every position each
@@ -264,10 +277,14 @@ func (e *Engine[R]) RunWith(ctx context.Context, cells []Cell[R], ropts RunOptio
 				for _, i := range positions[key] {
 					results[i] = r
 				}
-				if onProgress != nil {
+				if onProgress != nil || onProgressStats != nil {
 					b.mu.Lock()
 					b.done += len(positions[key])
-					onProgress(b.done, len(cells))
+					if onProgressStats != nil {
+						onProgressStats(b.done, len(cells), b.stats)
+					} else {
+						onProgress(b.done, len(cells))
+					}
 					b.mu.Unlock()
 				}
 			}
@@ -345,8 +362,13 @@ func (e *Engine[R]) resolve(ctx context.Context, c Cell[R], b *batch) (R, error)
 		}
 		if f, ok := e.inflight[c.Key]; ok {
 			e.mu.Unlock()
+			if m := e.opts.Metrics; m != nil {
+				m.SingleflightWaits.Inc()
+			}
+			sp := telemetry.StartSpan(ctx, "singleflight-wait", c.Key)
 			select {
 			case <-f.done:
+				sp.End()
 				if f.err == nil {
 					b.bump(func(s *Stats) { s.CacheHits++ })
 					return f.r, nil
@@ -355,6 +377,7 @@ func (e *Engine[R]) resolve(ctx context.Context, c Cell[R], b *batch) (R, error)
 				// is not ours. Loop and try to claim the key ourselves.
 				continue
 			case <-ctx.Done():
+				sp.End()
 				var zero R
 				return zero, ctx.Err()
 			}
@@ -379,8 +402,13 @@ func (e *Engine[R]) resolve(ctx context.Context, c Cell[R], b *batch) (R, error)
 // released, so waiters observe a fully persisted cell.
 func (e *Engine[R]) compute(ctx context.Context, c Cell[R], b *batch) (R, error) {
 	var zero R
+	m := e.opts.Metrics
 	if e.store != nil {
-		if r, ok := e.store.load(c.Key); ok {
+		sp := telemetry.StartSpan(ctx, "store-read", c.Key)
+		r, ok := e.store.load(c.Key)
+		sp.SetAttr("hit", ok)
+		sp.End()
+		if ok {
 			e.mu.Lock()
 			e.cache[c.Key] = r
 			e.mu.Unlock()
@@ -389,16 +417,32 @@ func (e *Engine[R]) compute(ctx context.Context, c Cell[R], b *batch) (R, error)
 		}
 	}
 
+	semStart := time.Now()
+	semSpan := telemetry.StartSpan(ctx, "sem-wait", c.Key)
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
+		semSpan.End()
 		return zero, ctx.Err()
 	}
+	semSpan.End()
+	if m != nil {
+		m.SemWaitSeconds.Observe(time.Since(semStart).Seconds())
+	}
 	note := &resumeNote{}
+	runStart := time.Now()
+	runSpan := telemetry.StartSpan(ctx, "cell", c.Key)
 	r, err := c.Run(context.WithValue(ctx, resumeNoteKey{}, note))
+	if note.resumed {
+		runSpan.SetAttr("resumed_ticks", note.ticks)
+	}
+	runSpan.End()
 	<-e.sem
 	if err != nil {
 		return zero, err
+	}
+	if m != nil {
+		m.CellSeconds.Observe(time.Since(runStart).Seconds())
 	}
 
 	e.mu.Lock()
@@ -412,7 +456,14 @@ func (e *Engine[R]) compute(ctx context.Context, c Cell[R], b *batch) (R, error)
 		}
 	})
 	if e.store != nil {
-		if err := e.store.save(c.Key, r); err != nil {
+		wrSpan := telemetry.StartSpan(ctx, "store-write", c.Key)
+		wrStart := time.Now()
+		err := e.store.save(c.Key, r)
+		if m != nil {
+			m.StoreWriteSeconds.Observe(time.Since(wrStart).Seconds())
+		}
+		wrSpan.End()
+		if err != nil {
 			// Best-effort: never throw away a computed result over a
 			// store write failure; record it and carry on from the
 			// memory cache.

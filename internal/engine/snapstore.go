@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // SnapStats tallies a SnapStore's lifetime activity: how often resuming
@@ -16,10 +17,21 @@ import (
 type SnapStats struct {
 	Hits      uint64 `json:"hits"`      // resume attempts that restored a usable checkpoint
 	Misses    uint64 `json:"misses"`    // resume attempts that found nothing usable
+	Loads     uint64 `json:"loads"`     // checkpoint payload reads served
 	Saves     uint64 `json:"saves"`     // checkpoints written
 	Evictions uint64 `json:"evictions"` // checkpoints dropped by the byte cap
 	Bytes     int64  `json:"bytes"`     // current payload bytes
 	Entries   int    `json:"entries"`   // current checkpoint count
+
+	// GhostHits and EvictionResimTicks are the cache-economics pair: a
+	// ghost hit is a resume attempt that would have restored a further
+	// checkpoint had the byte cap not evicted it, and EvictionResimTicks
+	// accumulates the simulation ticks those evictions force back onto
+	// the CPU. Together they price the cap — a store with evictions but
+	// zero ghost hits evicted only dead weight; one with a climbing
+	// resim-tick tally is thrashing its working set.
+	GhostHits          uint64 `json:"ghost_hits"`
+	EvictionResimTicks uint64 `json:"eviction_resim_ticks"`
 
 	// SaveErrors counts checkpoints that could not be written (disk
 	// full, permissions, over-cap payloads) — saves are best-effort, so
@@ -72,7 +84,26 @@ type SnapStore struct {
 	total   int64
 	clock   uint64
 	stats   SnapStats
+
+	// Ghost list: a bounded ring remembering recently evicted (hash,
+	// tick) slots so AttributeResim can tell "cold because never saved"
+	// from "cold because evicted". Re-saving the exact slot clears its
+	// ghost; overwriting the ring forgets the oldest evictions first.
+	ghosts    []ghost
+	ghostNext int
+	ghostIdx  map[string]map[int]int // hash -> tick -> ring slot
 }
+
+// ghost is one remembered eviction.
+type ghost struct {
+	hash string
+	tick int
+}
+
+// ghostRingSize bounds the eviction memory: enough to cover every
+// checkpoint of a full sweep's trajectories without letting a
+// long-lived store grow an unbounded tombstone list.
+const ghostRingSize = 4096
 
 // NewSnapStore opens (creating if needed) a checkpoint store rooted at
 // dir, or an in-memory store when dir is empty. maxBytes <= 0 applies
@@ -207,6 +238,7 @@ func (s *SnapStore) Load(key string, tick int) ([]byte, bool) {
 	if e != nil && s.root == "" {
 		s.clock++
 		e.touch = s.clock
+		s.stats.Loads++
 		data = e.data
 	}
 	s.mu.Unlock()
@@ -216,16 +248,25 @@ func (s *SnapStore) Load(key string, tick int) ([]byte, bool) {
 	if s.root == "" {
 		return data, true
 	}
-	data, err := os.ReadFile(s.snapPath(hash, tick))
+	path := s.snapPath(hash, tick)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		s.mu.Lock()
 		s.dropLocked(e, false)
 		s.mu.Unlock()
 		return nil, false
 	}
+	// Refresh the file's mtime so recency survives restarts: the startup
+	// index orders entries by modification time, and without this bump a
+	// reopened store would evict by save order — dropping the hottest
+	// checkpoints first. Best-effort; a failed touch only costs restart
+	// ordering, never the payload.
+	now := time.Now()
+	os.Chtimes(path, now, now)
 	s.mu.Lock()
 	s.clock++
 	e.touch = s.clock
+	s.stats.Loads++
 	s.mu.Unlock()
 	return data, true
 }
@@ -331,6 +372,7 @@ func (s *SnapStore) save(key string, tick int, data []byte) error {
 	s.clock++
 	e.touch = s.clock
 	s.insertLocked(e)
+	s.forgetGhostLocked(hash, tick) // the slot lives again; stop charging its eviction
 	s.stats.Saves++
 	return nil
 }
@@ -363,9 +405,71 @@ func (s *SnapStore) dropLocked(e *snapEntry, evict bool) {
 	s.stats.Entries--
 	if evict {
 		s.stats.Evictions++
+		s.rememberGhostLocked(e.hash, e.tick)
 	}
 	if s.root != "" {
 		os.Remove(s.snapPath(e.hash, e.tick))
+	}
+}
+
+// rememberGhostLocked records an evicted slot in the bounded ghost ring.
+func (s *SnapStore) rememberGhostLocked(hash string, tick int) {
+	if s.ghostIdx == nil {
+		s.ghostIdx = make(map[string]map[int]int)
+		s.ghosts = make([]ghost, ghostRingSize)
+	}
+	if _, ok := s.ghostIdx[hash][tick]; ok {
+		return
+	}
+	slot := s.ghostNext % ghostRingSize
+	if old := s.ghosts[slot]; old.hash != "" {
+		s.forgetGhostLocked(old.hash, old.tick)
+	}
+	s.ghosts[slot] = ghost{hash: hash, tick: tick}
+	byTick := s.ghostIdx[hash]
+	if byTick == nil {
+		byTick = make(map[int]int)
+		s.ghostIdx[hash] = byTick
+	}
+	byTick[tick] = slot
+	s.ghostNext++
+}
+
+// forgetGhostLocked drops a remembered eviction, if present.
+func (s *SnapStore) forgetGhostLocked(hash string, tick int) {
+	byTick := s.ghostIdx[hash]
+	slot, ok := byTick[tick]
+	if !ok {
+		return
+	}
+	delete(byTick, tick)
+	if len(byTick) == 0 {
+		delete(s.ghostIdx, hash)
+	}
+	s.ghosts[slot] = ghost{}
+}
+
+// AttributeResim charges re-simulated work to prior evictions: a resume
+// attempt for key that restored tick `resumed` (0 = cold start) and must
+// now simulate to `horizon` checks the ghost list for the furthest
+// evicted checkpoint it could have used instead. Finding ghost tick G
+// with resumed < G <= horizon counts one GhostHit and G-resumed
+// EvictionResimTicks — exactly the ticks the byte cap put back on the
+// CPU. Attempts with no covering ghost charge nothing: that work was
+// simply never checkpointed.
+func (s *SnapStore) AttributeResim(key string, resumed, horizon int) {
+	hash := hashKey(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := 0
+	for tick := range s.ghostIdx[hash] {
+		if tick > resumed && tick <= horizon && tick > best {
+			best = tick
+		}
+	}
+	if best > 0 {
+		s.stats.GhostHits++
+		s.stats.EvictionResimTicks += uint64(best - resumed)
 	}
 }
 

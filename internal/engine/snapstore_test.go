@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func testPayload(n int, fill byte) []byte {
@@ -58,8 +59,8 @@ func TestSnapStoreRoundTrip(t *testing.T) {
 				t.Fatalf("stats %+v", st)
 			}
 			// Hits and misses are per-resume-attempt tallies recorded by
-			// the consumer, not per-Load.
-			if st.Hits != 0 || st.Misses != 0 || st.Saves != 5 {
+			// the consumer, not per-Load; Loads counts served reads only.
+			if st.Hits != 0 || st.Misses != 0 || st.Saves != 5 || st.Loads != 2 {
 				t.Fatalf("tallies %+v", st)
 			}
 			s.NoteHit()
@@ -103,6 +104,96 @@ func TestSnapStoreEviction(t *testing.T) {
 	}
 	if st := s.Stats(); st.SaveErrors != 1 || st.FirstSaveError == "" {
 		t.Fatalf("save failure not tallied: %+v", st)
+	}
+}
+
+func TestSnapStoreGhostAttribution(t *testing.T) {
+	s := NewSnapStore("", 300)
+	for i := 1; i <= 3; i++ {
+		if err := s.Save("k", i*1000, testPayload(100, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two more saves evict ticks 1000 and 2000 (least-recently-used).
+	for i := 4; i <= 5; i++ {
+		if err := s.Save("k", i*1000, testPayload(100, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Has("k", 1000) || s.Has("k", 2000) {
+		t.Fatalf("expected evictions did not happen: ticks %v", s.Ticks("k"))
+	}
+
+	// A cold resume to 2500 could have used evicted checkpoint 2000: one
+	// ghost hit charging 2000 ticks — the furthest covering ghost wins,
+	// not the sum over all of them.
+	s.AttributeResim("k", 0, 2500)
+	if st := s.Stats(); st.GhostHits != 1 || st.EvictionResimTicks != 2000 {
+		t.Fatalf("cold attribution %+v", st)
+	}
+
+	// A partial resume charges only the gap up to the ghost.
+	s.AttributeResim("k", 1000, 2500)
+	if st := s.Stats(); st.GhostHits != 2 || st.EvictionResimTicks != 3000 {
+		t.Fatalf("partial attribution %+v", st)
+	}
+
+	// No covering ghost: horizon below every ghost, a foreign key, or a
+	// resume already past them all charge nothing.
+	s.AttributeResim("k", 0, 500)
+	s.AttributeResim("other", 0, 1<<30)
+	s.AttributeResim("k", 2000, 1<<30)
+	if st := s.Stats(); st.GhostHits != 2 || st.EvictionResimTicks != 3000 {
+		t.Fatalf("phantom attribution %+v", st)
+	}
+
+	// Re-saving the exact slot clears its ghost (the eviction no longer
+	// costs anyone anything). This save itself evicts tick 3000.
+	if err := s.Save("k", 2000, testPayload(100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.AttributeResim("k", 1000, 2500)
+	if st := s.Stats(); st.GhostHits != 2 {
+		t.Fatalf("cleared ghost still charged %+v", st)
+	}
+}
+
+func TestSnapStoreDiskLRUSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSnapStore(dir, 300)
+	hash := hashKey("k")
+	for i := 1; i <= 3; i++ {
+		if err := s.Save("k", i*1000, testPayload(100, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backdate the files so save order is unambiguous to the reindexer.
+	base := time.Now().Add(-3 * time.Hour)
+	for i := 1; i <= 3; i++ {
+		when := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(s.snapPath(hash, i*1000), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reading tick 1000 must bump its on-disk recency too, not just the
+	// in-process touch order.
+	if _, ok := s.Load("k", 1000); !ok {
+		t.Fatal("lost a checkpoint before the cap")
+	}
+
+	// A fresh store over the same directory evicts by last use: the
+	// just-read 1000 survives, the stale 2000 goes. Without the mtime
+	// bump this degrades to save-order eviction and drops 1000 — the
+	// hottest checkpoint.
+	s2 := NewSnapStore(dir, 300)
+	if err := s2.Save("k", 4000, testPayload(100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Has("k", 2000) {
+		t.Fatal("restart forgot recency: evicted by save order, not last use")
+	}
+	if !s2.Has("k", 1000) || !s2.Has("k", 3000) || !s2.Has("k", 4000) {
+		t.Fatalf("wrong eviction victim after restart: ticks %v", s2.Ticks("k"))
 	}
 }
 

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"hira/internal/telemetry"
 )
 
 // Client talks to a hira-server job API.
@@ -106,6 +108,15 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
 }
 
+// Trace fetches a job's span timeline.
+func (c *Client) Trace(ctx context.Context, id string) (*telemetry.View, error) {
+	var v telemetry.View
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
 // Stats fetches the server's engine tallies.
 func (c *Client) Stats(ctx context.Context) (*StatsReport, error) {
 	var rep StatsReport
@@ -121,6 +132,18 @@ func (c *Client) Stats(ctx context.Context) (*StatsReport, error) {
 // polling. ctx cancels the wait, not the job — pair with Cancel for
 // that.
 func (c *Client) Wait(ctx context.Context, id string, onProgress func(done, total int)) (*Job, error) {
+	var op func(Progress)
+	if onProgress != nil {
+		op = func(p Progress) { onProgress(p.Done, p.Total) }
+	}
+	return c.WaitProgress(ctx, id, op)
+}
+
+// WaitProgress is Wait surfacing the full Progress payload — including
+// the mid-sweep resolution tally (simulated / cache hits / resumed
+// ticks) and checkpoint-store counters the server streams for figure
+// and policies jobs.
+func (c *Client) WaitProgress(ctx context.Context, id string, onProgress func(Progress)) (*Job, error) {
 	if j, err := c.waitStream(ctx, id, onProgress); err == nil {
 		return j, nil
 	} else if ctx.Err() != nil {
@@ -130,7 +153,7 @@ func (c *Client) Wait(ctx context.Context, id string, onProgress func(done, tota
 }
 
 // waitStream consumes /v1/jobs/{id}/stream until a terminal state event.
-func (c *Client) waitStream(ctx context.Context, id string, onProgress func(done, total int)) (*Job, error) {
+func (c *Client) waitStream(ctx context.Context, id string, onProgress func(Progress)) (*Job, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
 		return nil, err
@@ -161,7 +184,7 @@ func (c *Client) waitStream(ctx context.Context, id string, onProgress func(done
 				if onProgress != nil {
 					var p Progress
 					if json.Unmarshal([]byte(data), &p) == nil {
-						onProgress(p.Done, p.Total)
+						onProgress(p)
 					}
 				}
 			case "state":

@@ -6,7 +6,9 @@ import (
 	"sync"
 	"time"
 
+	"hira/internal/engine"
 	"hira/internal/sim"
+	"hira/internal/telemetry"
 	"hira/internal/workload"
 )
 
@@ -26,10 +28,24 @@ func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
-// Progress is a job's cell-resolution progress within its current batch.
+// Progress is a job's cell-resolution progress within its current
+// batch. Beyond the done/total pair, figure and policies jobs carry a
+// mid-batch resolution tally — how many of the resolved cells simulated
+// versus hit a cache, and how many simulation ticks checkpoint resumes
+// spared — plus a snapshot-store summary when checkpointing is enabled,
+// so a streaming client can see cache economics while the sweep runs.
 type Progress struct {
 	Done  int `json:"done"`
 	Total int `json:"total"`
+
+	Simulated    uint64 `json:"simulated,omitempty"`
+	CacheHits    uint64 `json:"cache_hits,omitempty"`
+	StoreHits    uint64 `json:"store_hits,omitempty"`
+	Resumed      uint64 `json:"resumed,omitempty"`
+	ResumedTicks uint64 `json:"resumed_ticks,omitempty"`
+	// Snapshots is the engine-wide checkpoint-store tally at the time of
+	// the event (nil when resumable cells are disabled).
+	Snapshots *engine.SnapStats `json:"snapshots,omitempty"`
 }
 
 // Job is the serializable view of one submitted experiment.
@@ -82,6 +98,16 @@ type job struct {
 	// jobs do not pin decoded traces.
 	mixes []workload.SourceMix
 
+	// trace records the job's span timeline (queued/run plus every cell
+	// phase the engine and checkpointer record under the job's context),
+	// served by GET /v1/jobs/{id}/trace. Always non-nil; bounded by
+	// telemetry.DefaultMaxSpans.
+	trace *telemetry.Trace
+
+	// onFinish, when set, observes the terminal view exactly once (set by
+	// the server to fold outcome counters and latency histograms).
+	onFinish func(v Job)
+
 	mu     sync.Mutex
 	view   Job
 	cancel context.CancelFunc // non-nil once running; also set for queued cancellation
@@ -95,9 +121,10 @@ type job struct {
 
 func newJob(id string, spec JobSpec, now time.Time) *job {
 	return &job{
-		view: Job{ID: id, Spec: spec, State: StateQueued, Created: now},
-		done: make(chan struct{}),
-		subs: make(map[chan Event]struct{}),
+		view:  Job{ID: id, Spec: spec, State: StateQueued, Created: now},
+		trace: telemetry.NewTrace(id, 0),
+		done:  make(chan struct{}),
+		subs:  make(map[chan Event]struct{}),
 	}
 }
 
@@ -141,8 +168,23 @@ func (j *job) broadcast(ev Event) {
 // setProgress records batch progress and notifies subscribers. It is the
 // engine's per-batch OnProgress callback.
 func (j *job) setProgress(done, total int) {
+	j.setProgressStats(done, total, sim.EngineStats{}, nil)
+}
+
+// setProgressStats is setProgress carrying the batch's mid-sweep
+// resolution tally and the checkpoint store's current summary; it backs
+// the engine's OnProgressStats callback for figure and policies jobs.
+func (j *job) setProgressStats(done, total int, batch sim.EngineStats, snaps *engine.SnapStats) {
 	j.mu.Lock()
-	j.view.Progress = Progress{Done: done, Total: total}
+	j.view.Progress = Progress{
+		Done: done, Total: total,
+		Simulated:    batch.Simulated,
+		CacheHits:    batch.CacheHits,
+		StoreHits:    batch.StoreHits,
+		Resumed:      batch.Resumed,
+		ResumedTicks: batch.ResumedTicks,
+		Snapshots:    snaps,
+	}
 	j.broadcast(Event{Name: "progress", Data: j.view.Progress})
 	j.mu.Unlock()
 }
@@ -160,6 +202,9 @@ func (j *job) start(cancel context.CancelFunc, now time.Time) bool {
 	t := now
 	j.view.Started = &t
 	j.cancel = cancel
+	// The queue interval is only known retroactively, once a worker
+	// picks the job up.
+	j.trace.AddSpan("queued", "", j.view.Created, now, nil)
 	return true
 }
 
@@ -182,6 +227,13 @@ func (j *job) finish(state JobState, result json.RawMessage, stats *sim.EngineSt
 	j.view.Result = result
 	j.view.Stats = stats
 	j.view.Error = errMsg
+	if j.view.Started != nil {
+		j.trace.AddSpan("run", "", *j.view.Started, now,
+			map[string]any{"state": string(j.view.State)})
+	}
+	if j.onFinish != nil {
+		j.onFinish(j.view)
+	}
 	j.broadcast(Event{Name: "state", Data: j.view})
 	j.mu.Unlock()
 	close(j.done)
@@ -209,6 +261,10 @@ func (j *job) requestCancel(now time.Time) bool {
 	j.view.State = StateCancelled
 	t := now
 	j.view.Finished = &t
+	j.trace.AddSpan("queued", "", j.view.Created, now, nil)
+	if j.onFinish != nil {
+		j.onFinish(j.view)
+	}
 	j.broadcast(Event{Name: "state", Data: j.view})
 	j.mu.Unlock()
 	close(j.done)

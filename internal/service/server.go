@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"hira/internal/engine"
 	"hira/internal/rowhammer"
 	"hira/internal/sim"
+	"hira/internal/telemetry"
 	"hira/internal/workload"
 )
 
@@ -48,6 +50,15 @@ type Config struct {
 	TraceDir string
 	// Limits bounds individual job specs.
 	Limits Limits
+	// Telemetry is the metrics registry the server (and the engine it
+	// builds) instruments itself on, served at GET /metrics. Nil makes
+	// the server create its own, so /metrics always works; pass one in
+	// to add process-level metrics or share a registry.
+	Telemetry *telemetry.Registry
+	// Logger, when non-nil, receives structured job lifecycle logs
+	// (submit/start/finish/cancel), each tagged with the job ID. Nil
+	// disables logging.
+	Logger *slog.Logger
 	// now overrides the clock in tests; nil means time.Now.
 	now func() time.Time
 }
@@ -55,9 +66,11 @@ type Config struct {
 // Server schedules experiment jobs on one shared engine and serves them
 // over HTTP. Construct with New, mount Handler, and Close when done.
 type Server struct {
-	cfg Config
-	lab *sim.Engine
-	mux *http.ServeMux
+	cfg      Config
+	lab      *sim.Engine
+	mux      *http.ServeMux
+	registry *telemetry.Registry
+	metrics  *svcMetrics
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -89,13 +102,21 @@ func New(cfg Config) *Server {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if cfg.Engine.Telemetry == nil {
+		cfg.Engine.Telemetry = cfg.Telemetry
+	}
 	cfg.Limits = cfg.Limits.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		lab:  sim.NewEngine(cfg.Engine),
-		mux:  http.NewServeMux(),
-		jobs: make(map[string]*job),
+		cfg:      cfg,
+		lab:      sim.NewEngine(cfg.Engine),
+		mux:      http.NewServeMux(),
+		registry: cfg.Telemetry,
+		jobs:     make(map[string]*job),
 	}
+	s.metrics = newSvcMetrics(cfg.Telemetry, s)
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	s.routes()
@@ -156,8 +177,11 @@ func (s *Server) runJob(j *job) {
 	if !j.start(cancel, s.cfg.now()) {
 		return // cancelled while queued
 	}
+	s.logInfo("job started", "job", j.snapshot().ID)
 
-	result, stats, err := s.execute(ctx, j)
+	// Every layer below (engine workers, checkpointer, stores) records
+	// spans into whichever job's trace rides its context.
+	result, stats, err := s.execute(telemetry.WithTrace(ctx, j.trace), j)
 	now := s.cfg.now()
 	switch {
 	case err == nil && ctx.Err() != nil:
@@ -183,7 +207,7 @@ func (s *Server) execute(ctx context.Context, j *job) (json.RawMessage, *sim.Eng
 		opts := spec.Sim.options()
 		opts.Mixes = j.mixes
 		opts.Stats = &stats
-		opts.Progress = j.setProgress
+		opts.ProgressStats = s.progressStats(j)
 		res, err := s.lab.Figure(ctx, spec.Kind, opts, spec.Xs, spec.figureParams())
 		if err != nil {
 			return nil, &stats, err
@@ -198,7 +222,7 @@ func (s *Server) execute(ctx context.Context, j *job) (json.RawMessage, *sim.Eng
 		opts := spec.Sim.options()
 		opts.Mixes = j.mixes
 		opts.Stats = &stats
-		opts.Progress = j.setProgress
+		opts.ProgressStats = s.progressStats(j)
 		scores, err := s.lab.RunPolicies(ctx, spec.Config.config(), policies, opts)
 		if err != nil {
 			return nil, &stats, err
@@ -227,6 +251,20 @@ func (s *Server) execute(ctx context.Context, j *job) (json.RawMessage, *sim.Eng
 	default:
 		// Unreachable: submissions are validated.
 		return nil, nil, fmt.Errorf("unknown kind %q", spec.Kind)
+	}
+}
+
+// progressStats builds the per-batch progress callback for sweep jobs:
+// each event carries the batch's resolution tally so far plus the
+// engine-wide checkpoint-store summary, so streaming clients watch
+// cache economics live.
+func (s *Server) progressStats(j *job) func(done, total int, batch sim.EngineStats) {
+	return func(done, total int, batch sim.EngineStats) {
+		var snaps *engine.SnapStats
+		if st, ok := s.lab.SnapshotStats(); ok {
+			snaps = &st
+		}
+		j.setProgressStats(done, total, batch, snaps)
 	}
 }
 
@@ -260,8 +298,17 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// logInfo emits a structured log line when a logger is configured.
+func (s *Server) logInfo(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info(msg, args...)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -282,10 +329,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		s.metrics.rejected.Inc()
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
 	if err := spec.Validate(s.cfg.Limits); err != nil {
+		s.metrics.rejected.Inc()
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
@@ -294,6 +343,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// The same conditions are re-checked under the lock below, because a
 	// slot can fill while traces load.
 	if err := s.admit(); err != nil {
+		s.metrics.rejected.Inc()
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -305,6 +355,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if spec.Workloads != nil {
 		var err error
 		if mixes, err = spec.Workloads.Resolve(s.cfg.TraceDir); err != nil {
+			s.metrics.rejected.Inc()
 			writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 			return
 		}
@@ -313,6 +364,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if err := s.admitLocked(); err != nil {
 		s.mu.Unlock()
+		s.metrics.rejected.Inc()
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -320,13 +372,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("j%d", s.seq)
 	j := newJob(id, spec, s.cfg.now())
 	j.mixes = mixes
+	j.onFinish = s.jobFinished
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.pending = append(s.pending, j)
 	s.evictLocked()
 	s.cond.Signal()
 	s.mu.Unlock()
+	s.metrics.submitted.Inc()
+	s.logInfo("job submitted", "job", id, "kind", string(spec.Kind))
 	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// jobFinished observes one terminal job view: outcome counters, queue
+// and run latencies, and the lifecycle log line.
+func (s *Server) jobFinished(v Job) {
+	s.metrics.observeFinish(v)
+	args := []any{"job", v.ID, "state", string(v.State)}
+	if v.Started != nil && v.Finished != nil {
+		args = append(args, "run_seconds", v.Finished.Sub(*v.Started).Seconds())
+	}
+	if v.Error != "" {
+		args = append(args, "error", v.Error)
+	}
+	s.logInfo("job finished", args...)
 }
 
 // admitLocked reports why a submission cannot be accepted right now
@@ -443,6 +512,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	s.metrics.sseSubs.Inc()
+	defer s.metrics.sseSubs.Dec()
 	ch, snap := j.subscribe()
 	defer j.unsubscribe(ch)
 	writeEvent(w, Event{Name: "state", Data: snap})

@@ -7,6 +7,7 @@ import (
 
 	"hira/internal/engine"
 	"hira/internal/sched"
+	"hira/internal/telemetry"
 	"hira/internal/workload"
 )
 
@@ -67,12 +68,14 @@ func simCell(lab *Engine, cfg Config, mix workload.SourceMix, warmup, measure in
 			if err != nil {
 				return CellResult{}, err
 			}
-			return CellResult{
+			out := CellResult{
 				IPC:        res.IPC,
 				Sched:      res.Sched,
 				LLCHitRate: res.LLCHitRate,
 				Ticks:      res.Ticks,
-			}, nil
+			}
+			lab.sim.observe(out)
+			return out, nil
 		},
 	}
 }
@@ -102,12 +105,12 @@ func runSimCell(ctx context.Context, snaps *engine.SnapStore, interval int,
 		// Checkpoint the warmup boundary even off the interval grid:
 		// future runs that resume past it need the mark's cumulative
 		// counters, which live in exactly this checkpoint.
-		ck.save(sys)
+		ck.save(ctx, sys)
 	}
 	if err := ck.runTo(ctx, sys, total); err != nil {
 		return Result{}, err
 	}
-	ck.save(sys)
+	ck.save(ctx, sys)
 	return sys.resultSince(mark, measure), nil
 }
 
@@ -138,6 +141,7 @@ func (ck *checkpointer) resumeLongest(ctx context.Context, horizon int, take fun
 	if !ck.enabled() {
 		return false
 	}
+	sp := telemetry.StartSpan(ctx, "checkpoint-lookup", ck.key)
 	ticks := ck.snaps.Ticks(ck.key)
 	for i := len(ticks) - 1; i >= 0; i-- {
 		t := ticks[i]
@@ -150,11 +154,18 @@ func (ck *checkpointer) resumeLongest(ctx context.Context, horizon int, take fun
 		}
 		if take(t, data) {
 			ck.snaps.NoteHit()
+			ck.snaps.AttributeResim(ck.key, t, horizon)
 			engine.MarkResumed(ctx, t)
+			sp.SetAttr("hit", true)
+			sp.SetAttr("tick", t)
+			sp.End()
 			return true
 		}
 	}
 	ck.snaps.NoteMiss()
+	ck.snaps.AttributeResim(ck.key, 0, horizon)
+	sp.SetAttr("hit", false)
+	sp.End()
 	return false
 }
 
@@ -197,6 +208,13 @@ func (ck *checkpointer) resumeSystem(ctx context.Context, cfg Config, mix worklo
 // with different warmup/measure splits of one trajectory land their
 // checkpoints on a shared grid.
 func (ck *checkpointer) runTo(ctx context.Context, m machine, target int) error {
+	if m.Ticks() >= target {
+		return nil
+	}
+	sp := telemetry.StartSpan(ctx, "simulate", ck.key)
+	sp.SetAttr("from", m.Ticks())
+	sp.SetAttr("to", target)
+	defer sp.End()
 	if !ck.enabled() {
 		return m.RunTo(ctx, target)
 	}
@@ -209,7 +227,7 @@ func (ck *checkpointer) runTo(ctx context.Context, m machine, target int) error 
 			return err
 		}
 		if next%ck.interval == 0 {
-			ck.save(m)
+			ck.save(ctx, m)
 		}
 	}
 	return nil
@@ -218,13 +236,16 @@ func (ck *checkpointer) runTo(ctx context.Context, m machine, target int) error 
 // save checkpoints m's current state, best-effort: an encode failure (a
 // non-checkpointable custom stream) or store failure only means the next
 // run starts colder.
-func (ck *checkpointer) save(m machine) {
+func (ck *checkpointer) save(ctx context.Context, m machine) {
 	if !ck.enabled() || m.Ticks() == 0 {
 		return
 	}
 	if ck.snaps.Has(ck.key, m.Ticks()) {
 		return
 	}
+	sp := telemetry.StartSpan(ctx, "checkpoint-save", ck.key)
+	sp.SetAttr("tick", m.Ticks())
+	defer sp.End()
 	data, err := m.Snapshot()
 	if err != nil {
 		return
@@ -255,10 +276,17 @@ func runAloneCell(ctx context.Context, snaps *engine.SnapStore, interval int,
 	if a == nil {
 		a = newAloneRun(src, seed)
 	}
-	if err := a.RunTo(ctx, ticks); err != nil {
-		return 0, err
+	if a.Ticks() < ticks {
+		sp := telemetry.StartSpan(ctx, "simulate", ck.key)
+		sp.SetAttr("from", a.Ticks())
+		sp.SetAttr("to", ticks)
+		err := a.RunTo(ctx, ticks)
+		sp.End()
+		if err != nil {
+			return 0, err
+		}
 	}
-	ck.save(a)
+	ck.save(ctx, a)
 	return a.ipc(), nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"hira/internal/cpu"
 	"hira/internal/engine"
 	"hira/internal/metrics"
+	"hira/internal/telemetry"
 	"hira/internal/workload"
 )
 
@@ -180,6 +181,11 @@ type Options struct {
 	SnapMaxBytes int64
 	// Progress, when set, is called as a batch's cells resolve.
 	Progress func(done, total int)
+	// ProgressStats, when set, supersedes Progress: it additionally
+	// receives a snapshot of the batch's resolution tally so far, so
+	// callers (e.g. the service's SSE progress events) can stream
+	// cache-hit and resumed-tick counts mid-sweep.
+	ProgressStats func(done, total int, batch EngineStats)
 	// Stats, when set, accumulates the engine's resolution tallies
 	// (simulated vs cache/store hits) across the sweep.
 	Stats *EngineStats
@@ -221,6 +227,7 @@ type Engine struct {
 	eng          *experimentEngine
 	snaps        *engine.SnapStore
 	snapInterval int
+	sim          *simMetrics
 }
 
 // EngineConfig sizes a shared Engine.
@@ -241,19 +248,35 @@ type EngineConfig struct {
 	// 2 GiB on disk (256 MiB in memory). Least-recently-used checkpoints
 	// are evicted first.
 	SnapMaxBytes int64
+	// Telemetry, when non-nil, is the metrics registry the engine
+	// instruments itself on: cell resolution counters, per-cell wall-time
+	// histograms, snapshot-store economics, and coarse scheduler
+	// aggregates. Nil disables instrumentation at one branch per site.
+	Telemetry *telemetry.Registry
 }
 
 // NewEngine builds a shared experiment engine.
 func NewEngine(cfg EngineConfig) *Engine {
+	opts := engine.Options{
+		Parallelism: cfg.Parallelism,
+		ResultDir:   cfg.ResultDir,
+	}
+	if cfg.Telemetry != nil {
+		opts.Metrics = engine.NewMetrics(cfg.Telemetry)
+	}
 	e := &Engine{
-		eng: engine.New[CellResult](engine.Options{
-			Parallelism: cfg.Parallelism,
-			ResultDir:   cfg.ResultDir,
-		}),
+		eng:          engine.New[CellResult](opts),
 		snapInterval: cfg.SnapInterval,
+		sim:          newSimMetrics(cfg.Telemetry),
 	}
 	if cfg.SnapInterval > 0 {
 		e.snaps = engine.NewSnapStore(cfg.ResultDir, cfg.SnapMaxBytes)
+	}
+	if cfg.Telemetry != nil {
+		engine.RegisterStatsFuncs(cfg.Telemetry, e.eng.Stats)
+		if e.snaps != nil {
+			engine.RegisterSnapStoreFuncs(cfg.Telemetry, e.snaps.Stats)
+		}
 	}
 	return e
 }
@@ -386,7 +409,10 @@ func runPolicies(ctx context.Context, lab *Engine, base Config, policies []Refre
 		}
 	}
 
-	results, batch, err := lab.eng.RunWith(ctx, cells, engine.RunOptions{OnProgress: opts.Progress})
+	results, batch, err := lab.eng.RunWith(ctx, cells, engine.RunOptions{
+		OnProgress:      opts.Progress,
+		OnProgressStats: opts.ProgressStats,
+	})
 	if opts.Stats != nil {
 		opts.Stats.Add(batch)
 	}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+// The telemetry-overhead benches pin the cost of the instruments the
+// engine's per-cell paths pay, published alongside the simulation
+// benches in BENCH_pr6.json: counters and gauges must stay at a single
+// uncontended atomic op, histograms at a bucket scan plus two atomics,
+// and span start/end at roughly two clock reads plus one bounded
+// append. None of these sit on the per-tick hot loop — the scheduler
+// is sampled per cell — but cells resolve at sweep scale, so the
+// per-event cost still deserves a pinned number.
+
+func BenchmarkTelemetryCounter(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetryCounterParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkTelemetryHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}
+
+func BenchmarkTelemetryNilInstruments(b *testing.B) {
+	// The disabled-telemetry path: one nil check per call site.
+	var c *Counter
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(1)
+	}
+}
+
+func BenchmarkTelemetrySpan(b *testing.B) {
+	tr := NewTrace("bench", b.N+1)
+	ctx := WithTrace(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartSpan(ctx, "simulate", "cell").End()
+	}
+}
+
+func BenchmarkTelemetrySpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartSpan(ctx, "simulate", "cell").End()
+	}
+}
