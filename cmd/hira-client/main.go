@@ -42,6 +42,7 @@ var (
 	caps              = flag.String("capacities", "", "comma-separated chip capacities in Gbit (fig9/13/14)")
 	nrhs              = flag.String("nrhs", "", "comma-separated RowHammer thresholds (fig12/15/16)")
 	xs                = flag.String("xs", "", "comma-separated channel/rank axis (fig13-16)")
+	timeout           = flag.Float64("timeout", 0, "server-side wall-clock deadline for the job in seconds (0 = none)")
 	progress          = flag.Bool("progress", false, "print cell progress to stderr")
 	cancelOnInterrupt = flag.Bool("cancel-on-interrupt", true, "Ctrl-C cancels the submitted job server-side")
 )
@@ -117,7 +118,7 @@ func workloadsObject() (*service.WorkloadsSpec, int, error) {
 }
 
 func run() int {
-	spec := service.JobSpec{Kind: *exp}
+	spec := service.JobSpec{Kind: *exp, TimeoutSeconds: *timeout}
 	if *workloads != 0 || *cores != 0 || *ticks != 0 || *warmup != 0 || *seed != 0 {
 		spec.Sim = &service.SimSpec{Workloads: *workloads, Cores: *cores, Measure: *ticks, Warmup: *warmup, Seed: *seed}
 	}

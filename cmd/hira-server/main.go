@@ -16,8 +16,20 @@
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/trace  per-job span timeline (?format=chrome for chrome://tracing)
 //	GET    /v1/stats            shared-engine tallies and job counts
-//	GET    /v1/healthz          liveness
+//	GET    /healthz             liveness (also /v1/healthz)
+//	GET    /readyz              readiness: degraded stores, saturated queue, shutdown
 //	GET    /metrics             Prometheus exposition of engine/store/job metrics
+//
+// Pair with -journal to make live jobs durable: a server restarted over
+// the same journal re-validates and re-enqueues every job that was
+// queued or running when it died, and (with -results) those jobs resume
+// from the warm result and checkpoint stores instead of starting over.
+//
+// The -faults flag (or HIRA_FAULTS) arms deterministic storage-fault
+// injection for chaos drills: comma-separated site:kind[:prob[:count]]
+// rules, e.g. "store.write:enospc" or "snap.read:corrupt:0.5". See
+// internal/fault for sites and kinds. Injection only corrupts what the
+// process reads or writes through the armed sites — never data at rest.
 package main
 
 import (
@@ -30,8 +42,10 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
+	"hira/internal/fault"
 	"hira/internal/service"
 	"hira/internal/sim"
 	"hira/internal/telemetry"
@@ -46,9 +60,43 @@ var (
 	traceDir  = flag.String("traces", "", "directory of recorded trace files job specs may reference (empty rejects trace workloads)")
 	snapIvl   = flag.Int("snap-interval", 50000, "ticks between simulation checkpoints; resubmitting a sweep with longer horizons then simulates only the delta (0 disables)")
 	snapMax   = flag.Int64("snap-max-bytes", 0, "checkpoint store byte cap with oldest-first eviction (0 = 2 GiB on disk, 256 MiB in memory)")
+	journal   = flag.String("journal", "", "durable live-job journal file; restarted servers re-enqueue interrupted jobs from it")
+	faults    = flag.String("faults", "", "storage fault-injection rules, comma-separated site:kind[:prob[:count]] (env HIRA_FAULTS)")
+	faultSeed = flag.Uint64("fault-seed", 1, "seed for probabilistic fault rules (env HIRA_FAULT_SEED)")
 	pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	quiet     = flag.Bool("quiet", false, "suppress structured job lifecycle logs on stderr")
 )
+
+// faultFS builds the fault-injection seam from -faults/-fault-seed,
+// falling back to the HIRA_FAULTS / HIRA_FAULT_SEED environment (so CI
+// chaos jobs can arm a stock binary without touching its argv). Returns
+// nil — the plain OS filesystem — when no rules are armed.
+func faultFS() (fault.FS, error) {
+	spec := *faults
+	if spec == "" {
+		spec = os.Getenv("HIRA_FAULTS")
+	}
+	if spec == "" {
+		return nil, nil
+	}
+	seed := *faultSeed
+	if env := os.Getenv("HIRA_FAULT_SEED"); env != "" && *faultSeed == 1 {
+		v, err := strconv.ParseUint(env, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("HIRA_FAULT_SEED: %v", err)
+		}
+		seed = v
+	}
+	inj, err := fault.Parse(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	if inj == nil {
+		return nil, nil
+	}
+	fmt.Fprintf(os.Stderr, "fault injection armed: %s (seed %d)\n", spec, seed)
+	return inj, nil
+}
 
 func main() {
 	flag.Parse()
@@ -62,18 +110,25 @@ func run() int {
 	if !*quiet {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	fsys, err := faultFS()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	svc := service.New(service.Config{
 		Engine: sim.EngineConfig{
 			Parallelism:  *parallel,
 			ResultDir:    *results,
 			SnapInterval: *snapIvl,
 			SnapMaxBytes: *snapMax,
+			FS:           fsys,
 		},
-		Workers:    *workers,
-		QueueDepth: *queue,
-		TraceDir:   *traceDir,
-		Telemetry:  reg,
-		Logger:     logger,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		TraceDir:    *traceDir,
+		JournalPath: *journal,
+		Telemetry:   reg,
+		Logger:      logger,
 	})
 	defer svc.Close()
 

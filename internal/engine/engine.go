@@ -33,9 +33,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"hira/internal/fault"
 	"hira/internal/telemetry"
 )
 
@@ -73,6 +75,12 @@ type Stats struct {
 	Resumed      uint64 `json:"resumed"`
 	ResumedTicks uint64 `json:"resumed_ticks"`
 
+	// Panics counts cells whose Run panicked. The engine converts each
+	// panic into an ordinary cell error carrying the stack trace — the
+	// batch fails, the process survives — and tallies it here so a
+	// recovered-from bug is still visible on /metrics.
+	Panics uint64 `json:"panics,omitempty"`
+
 	// FirstStoreError describes the first ResultDir write failure, so
 	// callers can report why persistence degraded (permissions, full
 	// disk, ...), not just that it did.
@@ -89,6 +97,7 @@ func (s *Stats) Add(o Stats) {
 	s.StoreErrors += o.StoreErrors
 	s.Resumed += o.Resumed
 	s.ResumedTicks += o.ResumedTicks
+	s.Panics += o.Panics
 	if s.FirstStoreError == "" {
 		s.FirstStoreError = o.FirstStoreError
 	}
@@ -133,6 +142,10 @@ type Options struct {
 	// in the in-memory cache and the failure is tallied in
 	// Stats.StoreErrors / Stats.FirstStoreError.
 	ResultDir string
+	// FS, when non-nil, routes the result store's file I/O through a
+	// fault-injection seam (see internal/fault). nil means the real
+	// filesystem; production code never sets it.
+	FS fault.FS
 	// OnProgress, when set, is the default progress callback for batches
 	// that do not supply their own via RunOptions: it is called after
 	// each cell of a batch resolves, with the number resolved so far and
@@ -191,7 +204,7 @@ func New[R any](opts Options) *Engine[R] {
 		inflight: make(map[string]*flight[R]),
 	}
 	if opts.ResultDir != "" {
-		e.store = newStore[R](opts.ResultDir)
+		e.store = newStore[R](opts.ResultDir, opts.FS)
 	}
 	return e
 }
@@ -214,6 +227,17 @@ func (e *Engine[R]) StoredCells() int {
 		return 0
 	}
 	return e.store.Len()
+}
+
+// StoreDegraded reports whether the result store has flipped into
+// cache-only mode (unwritable root at construction, or a run of
+// consecutive save failures mid-flight), and why. Always false without
+// a ResultDir: an intentionally memory-only engine is not degraded.
+func (e *Engine[R]) StoreDegraded() (string, bool) {
+	if e.store == nil {
+		return "", false
+	}
+	return e.store.degradedReason()
 }
 
 // Run resolves every cell and returns results in submission order, plus
@@ -432,7 +456,18 @@ func (e *Engine[R]) compute(ctx context.Context, c Cell[R], b *batch) (R, error)
 	note := &resumeNote{}
 	runStart := time.Now()
 	runSpan := telemetry.StartSpan(ctx, "cell", c.Key)
-	r, err := c.Run(context.WithValue(ctx, resumeNoteKey{}, note))
+	// A panicking cell must not take down the worker pool (and with it
+	// the whole server): convert the panic into an ordinary cell error
+	// carrying the stack, so exactly this batch fails, attributably.
+	r, err := func() (r R, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				b.bump(func(s *Stats) { s.Panics++ })
+				err = fmt.Errorf("engine: cell %q panicked: %v\n%s", c.Key, p, debug.Stack())
+			}
+		}()
+		return c.Run(context.WithValue(ctx, resumeNoteKey{}, note))
+	}()
 	if note.resumed {
 		runSpan.SetAttr("resumed_ticks", note.ticks)
 	}
@@ -458,7 +493,7 @@ func (e *Engine[R]) compute(ctx context.Context, c Cell[R], b *batch) (R, error)
 	if e.store != nil {
 		wrSpan := telemetry.StartSpan(ctx, "store-write", c.Key)
 		wrStart := time.Now()
-		err := e.store.save(c.Key, r)
+		_, err := e.store.save(c.Key, r)
 		if m != nil {
 			m.StoreWriteSeconds.Observe(time.Since(wrStart).Seconds())
 		}

@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -9,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"hira/internal/fault"
 )
 
 // SnapStats tallies a SnapStore's lifetime activity: how often resuming
@@ -78,6 +83,8 @@ type snapEntry struct {
 type SnapStore struct {
 	root     string // "" = in-memory
 	maxBytes int64
+	fs       fault.FS
+	degraded string // non-empty: requested on-disk root was unusable; why
 
 	mu      sync.Mutex
 	entries map[string]map[int]*snapEntry // key hash -> tick -> entry
@@ -109,18 +116,41 @@ const ghostRingSize = 4096
 // dir, or an in-memory store when dir is empty. maxBytes <= 0 applies
 // DefaultSnapMaxBytes (disk) or DefaultSnapMaxBytesMemory (in-memory).
 func NewSnapStore(dir string, maxBytes int64) *SnapStore {
+	return NewSnapStoreFS(dir, maxBytes, nil)
+}
+
+// NewSnapStoreFS is NewSnapStore with an explicit fault.FS for chaos
+// testing (nil means the real filesystem). An unusable or unwritable
+// on-disk root does not fail construction: the store flips to in-memory
+// mode — checkpoints still serve warm resumes for the process's
+// lifetime, they just don't survive a restart — and records why in
+// Degraded().
+func NewSnapStoreFS(dir string, maxBytes int64, fsys fault.FS) *SnapStore {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	s := &SnapStore{root: dir, fs: fsys, entries: make(map[string]map[int]*snapEntry)}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			s.degraded = fmt.Sprintf("snapshot root unusable: %v", err)
+			s.root = ""
+		} else if err := probeWritable(dir); err != nil {
+			s.degraded = fmt.Sprintf("snapshot root unwritable: %v", err)
+			s.root = ""
+		}
+	}
 	if maxBytes <= 0 {
-		if dir == "" {
+		if s.root == "" {
 			maxBytes = DefaultSnapMaxBytesMemory
 		} else {
 			maxBytes = DefaultSnapMaxBytes
 		}
 	}
-	s := &SnapStore{root: dir, maxBytes: maxBytes, entries: make(map[string]map[int]*snapEntry)}
-	if dir == "" {
+	s.maxBytes = maxBytes
+	if s.root == "" {
 		return s
 	}
-	os.MkdirAll(dir, 0o755)
+	sweepStaleTmp(dir, tmpSweepAge)
 	shards, err := os.ReadDir(dir)
 	if err != nil {
 		return s
@@ -149,8 +179,9 @@ func NewSnapStore(dir string, maxBytes int64) *SnapStore {
 			if err != nil {
 				continue
 			}
+			path := filepath.Join(dir, sh.Name(), f.Name())
 			all = append(all, found{
-				e:   &snapEntry{hash: hash, tick: tick, size: info.Size()},
+				e:   &snapEntry{hash: hash, tick: tick, size: snapPayloadSize(path, info.Size())},
 				mod: info.ModTime().UnixNano(),
 			})
 		}
@@ -162,6 +193,64 @@ func NewSnapStore(dir string, maxBytes int64) *SnapStore {
 		s.insertLocked(f.e)
 	}
 	return s
+}
+
+// snapSumMagic prefixes every on-disk checkpoint, followed by the
+// SHA-256 of the payload. The consumer's structural validation (the
+// snapshot's own magic and embedded key) catches truncation and wrong-
+// slot payloads but not a bit flip deep inside the state bytes, which
+// would otherwise restore silently wrong simulator state; the envelope
+// makes any corruption a detectable miss. Files written before the
+// envelope existed (or whose prefix itself got corrupted) don't match
+// the magic and pass through to the consumer's checks unchanged.
+var snapSumMagic = []byte("HIRASUM1")
+
+// wrapSnapSum frames a checkpoint payload for disk: magic, SHA-256,
+// payload.
+func wrapSnapSum(data []byte) []byte {
+	out := make([]byte, 0, len(snapSumMagic)+sha256.Size+len(data))
+	out = append(out, snapSumMagic...)
+	sum := sha256.Sum256(data)
+	out = append(out, sum[:]...)
+	return append(out, data...)
+}
+
+// unwrapSnapSum verifies and strips the checksum envelope. Data without
+// the magic is returned as-is (legacy checkpoint, or an envelope whose
+// prefix was itself damaged — downstream structural checks reject it).
+func unwrapSnapSum(raw []byte) ([]byte, bool) {
+	if !bytes.HasPrefix(raw, snapSumMagic) {
+		return raw, true
+	}
+	header := len(snapSumMagic) + sha256.Size
+	if len(raw) < header {
+		return nil, false
+	}
+	sum := sha256.Sum256(raw[header:])
+	if !bytes.Equal(sum[:], raw[len(snapSumMagic):header]) {
+		return nil, false
+	}
+	return raw[header:], true
+}
+
+// snapPayloadSize returns the payload size of the checkpoint file at
+// path: the file size minus the checksum envelope when present, so the
+// restart index accounts the same bytes the live store did (Stats.Bytes
+// is payload bytes). Probe failures fall back to the raw file size —
+// only eviction-heuristic accounting rides on it.
+func snapPayloadSize(path string, fileSize int64) int64 {
+	f, err := os.Open(path)
+	if err != nil {
+		return fileSize
+	}
+	defer f.Close()
+	magic := make([]byte, len(snapSumMagic))
+	if _, err := io.ReadFull(f, magic); err == nil && bytes.Equal(magic, snapSumMagic) {
+		if ps := fileSize - int64(len(snapSumMagic)+sha256.Size); ps >= 0 {
+			return ps
+		}
+	}
+	return fileSize
 }
 
 // snapFileName parses a <64-hex>@<tick>.snap checkpoint file name.
@@ -249,8 +338,17 @@ func (s *SnapStore) Load(key string, tick int) ([]byte, bool) {
 		return data, true
 	}
 	path := s.snapPath(hash, tick)
-	data, err := os.ReadFile(path)
+	raw, err := s.fs.ReadFile(fault.SiteSnapRead, path)
 	if err != nil {
+		s.mu.Lock()
+		s.dropLocked(e, false)
+		s.mu.Unlock()
+		return nil, false
+	}
+	data, ok := unwrapSnapSum(raw)
+	if !ok {
+		// Checksum mismatch: the file is damaged. Drop the slot so the
+		// next resume attempt doesn't re-read the same corpse.
 		s.mu.Lock()
 		s.dropLocked(e, false)
 		s.mu.Unlock()
@@ -262,7 +360,7 @@ func (s *SnapStore) Load(key string, tick int) ([]byte, bool) {
 	// checkpoints first. Best-effort; a failed touch only costs restart
 	// ordering, never the payload.
 	now := time.Now()
-	os.Chtimes(path, now, now)
+	s.fs.Chtimes(fault.SiteSnapRead, path, now)
 	s.mu.Lock()
 	s.clock++
 	e.touch = s.clock
@@ -323,25 +421,7 @@ func (s *SnapStore) save(key string, tick int, data []byte) error {
 		// Concurrent same-slot writers race benignly: trajectories are
 		// deterministic, so both payloads are identical, and the atomic
 		// rename means the last one wins.
-		shard := filepath.Join(s.root, hash[:2])
-		if err := os.MkdirAll(shard, 0o755); err != nil {
-			return fmt.Errorf("engine: snapshot store: %w", err)
-		}
-		tmp, err := os.CreateTemp(shard, "snap-*.tmp")
-		if err != nil {
-			return fmt.Errorf("engine: snapshot store: %w", err)
-		}
-		if _, err := tmp.Write(data); err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-			return fmt.Errorf("engine: snapshot store: %w", err)
-		}
-		if err := tmp.Close(); err != nil {
-			os.Remove(tmp.Name())
-			return fmt.Errorf("engine: snapshot store: %w", err)
-		}
-		if err := os.Rename(tmp.Name(), s.snapPath(hash, tick)); err != nil {
-			os.Remove(tmp.Name())
+		if err := s.fs.WriteFileAtomic(fault.SiteSnapWrite, s.snapPath(hash, tick), wrapSnapSum(data)); err != nil {
 			return fmt.Errorf("engine: snapshot store: %w", err)
 		}
 	}
@@ -408,7 +488,10 @@ func (s *SnapStore) dropLocked(e *snapEntry, evict bool) {
 		s.rememberGhostLocked(e.hash, e.tick)
 	}
 	if s.root != "" {
-		os.Remove(s.snapPath(e.hash, e.tick))
+		// Best-effort: a file that can't be removed (injected EIO) leaves a
+		// few stray bytes on disk but a consistent index; the slot is gone
+		// either way, and the startup indexer will rediscover survivors.
+		s.fs.Remove(fault.SiteSnapEvict, s.snapPath(e.hash, e.tick))
 	}
 }
 
@@ -476,6 +559,12 @@ func (s *SnapStore) AttributeResim(key string, resumed, horizon int) {
 // snapPath returns where a checkpoint lives: root/ab/ab...@tick.snap.
 func (s *SnapStore) snapPath(hash string, tick int) string {
 	return filepath.Join(s.root, hash[:2], fmt.Sprintf("%s@%d.snap", hash, tick))
+}
+
+// Degraded reports whether the store fell back to in-memory mode because
+// its requested on-disk root was unusable, and why.
+func (s *SnapStore) Degraded() (string, bool) {
+	return s.degraded, s.degraded != ""
 }
 
 // Stats returns a snapshot of the store's tallies.

@@ -7,14 +7,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"hira/internal/telemetry"
 )
 
-// Client talks to a hira-server job API.
+// Client talks to a hira-server job API. Transient failures — dropped
+// connections, 502/504 from an intermediary, queue-full 503s — are
+// retried with jittered exponential backoff (honoring the server's
+// Retry-After hint when it asks for longer), and a broken event stream
+// reconnects with Last-Event-ID instead of falling straight back to
+// polling, so a brief server restart looks like a pause, not an error.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
@@ -25,6 +32,67 @@ type Client struct {
 	// PollInterval is Wait's fallback polling cadence when the event
 	// stream is unavailable; <= 0 means 500ms.
 	PollInterval time.Duration
+	// MaxRetries bounds how many times a transiently failed request is
+	// retried (beyond the initial attempt). 0 means 4; negative disables
+	// retries entirely.
+	MaxRetries int
+	// RetryBaseDelay is the first backoff delay, doubled per retry
+	// (with ±50% jitter, capped at 5s); <= 0 means 200ms. The server's
+	// Retry-After wins when it asks for longer.
+	RetryBaseDelay time.Duration
+}
+
+// maxRetries resolves the retry budget.
+func (c *Client) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 4
+	}
+	return c.MaxRetries
+}
+
+// backoff returns the jittered delay before retry number attempt (0-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.RetryBaseDelay
+	if d <= 0 {
+		d = 200 * time.Millisecond
+	}
+	for i := 0; i < attempt && d < 5*time.Second; i++ {
+		d *= 2
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	// Full ±50% jitter: concurrent clients kicked off by the same event
+	// (a server restart) must not retry in lockstep.
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// sleepCtx waits d or until ctx is done, reporting whether it waited.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// retryAfter parses a Retry-After header (integer seconds form); 0 when
+// absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // NewClient returns a client for the server at baseURL.
@@ -41,39 +109,71 @@ func (c *Client) httpClient() *http.Client {
 
 // do issues a request and decodes the JSON response into out,
 // translating non-2xx responses into errors carrying the server's
-// message.
+// message. Transient failures retry with backoff. What counts as
+// transient depends on the method: a 503 always does (the server
+// explicitly rejected the request before doing anything, so retrying a
+// POST cannot double-submit), while network errors and gateway 502/504s
+// retry only for idempotent methods — a lost POST response may mean the
+// job was actually accepted, and retrying would submit it twice.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	idempotent := method != http.MethodPost
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if data != nil {
+			rd = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var ae apiError
-		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-			return fmt.Errorf("%s %s: %s (%s)", method, path, ae.Error, resp.Status)
+		if data != nil {
+			req.Header.Set("Content-Type", "application/json")
 		}
-		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+		resp, err := c.httpClient().Do(req)
+		var reqErr error
+		transient := false
+		if err != nil {
+			reqErr = err
+			transient = idempotent
+		} else {
+			switch {
+			case resp.StatusCode/100 == 2:
+				defer resp.Body.Close()
+				if out == nil {
+					return nil
+				}
+				return json.NewDecoder(resp.Body).Decode(out)
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				transient = true
+			case resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusGatewayTimeout:
+				transient = idempotent
+			}
+			var ae apiError
+			if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+				reqErr = fmt.Errorf("%s %s: %s (%s)", method, path, ae.Error, resp.Status)
+			} else {
+				reqErr = fmt.Errorf("%s %s: %s", method, path, resp.Status)
+			}
+			resp.Body.Close()
+		}
+		if !transient || attempt >= c.maxRetries() || ctx.Err() != nil {
+			return reqErr
+		}
+		delay := c.backoff(attempt)
+		if ra := retryAfter(resp); ra > delay {
+			delay = ra
+		}
+		if !sleepCtx(ctx, delay) {
+			return reqErr
+		}
 	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Submit posts a job spec and returns the accepted (queued) job.
@@ -142,21 +242,39 @@ func (c *Client) Wait(ctx context.Context, id string, onProgress func(done, tota
 // WaitProgress is Wait surfacing the full Progress payload — including
 // the mid-sweep resolution tally (simulated / cache hits / resumed
 // ticks) and checkpoint-store counters the server streams for figure
-// and policies jobs.
+// and policies jobs. A broken stream reconnects with backoff, resuming
+// via Last-Event-ID; once the retry budget is spent it falls back to
+// polling.
 func (c *Client) WaitProgress(ctx context.Context, id string, onProgress func(Progress)) (*Job, error) {
-	if j, err := c.waitStream(ctx, id, onProgress); err == nil {
-		return j, nil
-	} else if ctx.Err() != nil {
-		return nil, err
+	var lastID string
+	for attempt := 0; ; attempt++ {
+		j, err := c.waitStream(ctx, id, onProgress, &lastID)
+		if err == nil {
+			return j, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		if attempt >= c.maxRetries() {
+			break
+		}
+		if !sleepCtx(ctx, c.backoff(attempt)) {
+			return nil, ctx.Err()
+		}
 	}
 	return c.waitPoll(ctx, id)
 }
 
-// waitStream consumes /v1/jobs/{id}/stream until a terminal state event.
-func (c *Client) waitStream(ctx context.Context, id string, onProgress func(Progress)) (*Job, error) {
+// waitStream consumes /v1/jobs/{id}/stream until a terminal state event,
+// tracking the last seen event id in *lastID so a reconnect can tell the
+// server what the client already has.
+func (c *Client) waitStream(ctx context.Context, id string, onProgress func(Progress), lastID *string) (*Job, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
 		return nil, err
+	}
+	if *lastID != "" {
+		req.Header.Set("Last-Event-ID", *lastID)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -174,6 +292,8 @@ func (c *Client) waitStream(ctx context.Context, id string, onProgress func(Prog
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			*lastID = strings.TrimPrefix(line, "id: ")
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):

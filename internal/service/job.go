@@ -57,6 +57,9 @@ type Job struct {
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Progress Progress   `json:"progress"`
+	// Recovered marks a job re-enqueued from the journal after a server
+	// restart rather than submitted over HTTP in this process's lifetime.
+	Recovered bool `json:"recovered,omitempty"`
 	// Error describes why a failed job failed.
 	Error string `json:"error,omitempty"`
 	// Stats tallies how the shared engine resolved this job's cells:
@@ -83,6 +86,13 @@ type PoliciesResult struct {
 
 // Event is one server-sent event on a job's stream.
 type Event struct {
+	// ID is the job's monotonically increasing event sequence number,
+	// emitted as the SSE id field. A reconnecting client sends it back
+	// as Last-Event-ID; because state and progress events are cumulative
+	// snapshots (not deltas), the server needs no replay buffer — it
+	// skips the redundant initial snapshot when the client is already
+	// current and otherwise just resumes the live stream.
+	ID uint64
 	// Name is the SSE event name: "progress" or "state".
 	Name string
 	// Data is the event payload, marshaled to one JSON line.
@@ -117,6 +127,8 @@ type job struct {
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
 	subs map[chan Event]struct{}
+	// eventSeq numbers this job's SSE events; see Event.ID.
+	eventSeq uint64
 }
 
 func newJob(id string, spec JobSpec, now time.Time) *job {
@@ -135,18 +147,27 @@ func (j *job) snapshot() Job {
 	return j.view
 }
 
+// snapshotSeq is snapshot plus the view's event sequence number, for
+// stamping synthesized state events consistently with broadcast ones.
+func (j *job) snapshotSeq() (Job, uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view, j.eventSeq
+}
+
 // subscribe registers a stream consumer and returns its channel plus the
 // current snapshot (sent to the consumer first, so late subscribers see
-// state immediately). Slow consumers miss intermediate progress events
-// (sends are non-blocking) but always receive the terminal state via
-// done + snapshot.
-func (j *job) subscribe() (chan Event, Job) {
+// state immediately) and the snapshot's event sequence number. Slow
+// consumers miss intermediate progress events (sends are non-blocking)
+// but always receive the terminal state via done + snapshot.
+func (j *job) subscribe() (chan Event, Job, uint64) {
 	ch := make(chan Event, 16)
 	j.mu.Lock()
 	j.subs[ch] = struct{}{}
 	snap := j.view
+	seq := j.eventSeq
 	j.mu.Unlock()
-	return ch, snap
+	return ch, snap, seq
 }
 
 func (j *job) unsubscribe(ch chan Event) {
@@ -155,8 +176,11 @@ func (j *job) unsubscribe(ch chan Event) {
 	j.mu.Unlock()
 }
 
-// broadcast sends an event to every subscriber without blocking.
+// broadcast numbers an event and sends it to every subscriber without
+// blocking. Callers hold j.mu.
 func (j *job) broadcast(ev Event) {
+	j.eventSeq++
+	ev.ID = j.eventSeq
 	for ch := range j.subs {
 		select {
 		case ch <- ev:

@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hira/internal/areamodel"
@@ -48,6 +51,14 @@ type Config struct {
 	// workloads object's traces[].file entries) resolve against. Empty
 	// rejects trace-referencing specs.
 	TraceDir string
+	// JournalPath, when non-empty, persists every live (queued or
+	// running) job's spec to a crash-safe journal file. On startup the
+	// journal's surviving entries are re-validated and re-enqueued under
+	// their original IDs, so a crashed or killed server resumes its
+	// interrupted jobs — against the warm result/checkpoint stores, which
+	// makes re-running them cost roughly the in-flight delta. Empty
+	// disables journaling (jobs die with the process, as before).
+	JournalPath string
 	// Limits bounds individual job specs.
 	Limits Limits
 	// Telemetry is the metrics registry the server (and the engine it
@@ -75,6 +86,16 @@ type Server struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
+
+	// journal is the durable live-job record (nil without a JournalPath
+	// or when opening it failed — journalErr keeps the reason for
+	// /readyz). retainJournal flips on at shutdown so jobs still live
+	// when the process exits stay journaled for the next one.
+	journal       *journal
+	journalErr    error
+	retainJournal atomic.Bool
+	recovered     atomic.Uint64 // jobs re-enqueued from the journal
+	panics        atomic.Uint64 // job executions that ended in a recovered panic
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signals workers when pending grows or the server closes
@@ -120,6 +141,18 @@ func New(cfg Config) *Server {
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	s.routes()
+	if cfg.JournalPath != "" {
+		jn, entries, err := openJournal(cfg.JournalPath, cfg.Engine.FS)
+		if err != nil {
+			// Journal-less degradation: the server still serves jobs, they
+			// just will not survive a restart; /readyz reports why.
+			s.journalErr = err
+			s.logInfo("journal disabled", "error", err.Error())
+		} else {
+			s.journal = jn
+			s.recoverJobs(entries)
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -134,8 +167,11 @@ func (s *Server) Engine() *sim.Engine { return s.lab }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close stops accepting work, cancels running jobs, and waits for the
-// workers to drain. Pending jobs finalize as cancelled.
+// workers to drain. Pending jobs finalize as cancelled. Jobs that were
+// still live keep their journal entries, so a restart over the same
+// journal re-enqueues them.
 func (s *Server) Close() {
+	s.retainJournal.Store(true)
 	s.mu.Lock()
 	s.closed = true
 	pending := s.pending
@@ -148,6 +184,70 @@ func (s *Server) Close() {
 	for _, j := range pending {
 		j.requestCancel(now)
 	}
+}
+
+// crash simulates an abrupt process death for crash-recovery tests:
+// workers stop and running jobs' contexts are cancelled so the test can
+// reclaim the goroutines, but no terminal state reaches the journal —
+// leaving exactly the on-disk state a SIGKILL leaves behind. Only a new
+// Server over the same directories can observe the difference.
+func (s *Server) crash() {
+	s.retainJournal.Store(true)
+	s.mu.Lock()
+	s.closed = true
+	s.pending = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// recoverJobs re-registers the journal's surviving entries at startup,
+// before the worker pool starts. Each entry is re-validated against the
+// current limits and its workloads re-resolved against the current
+// TraceDir — a spec that no longer passes (limits tightened, trace file
+// gone) finalizes as a failed job with an attributable error instead of
+// crashing a worker later. Valid entries re-enqueue under their original
+// IDs in their original order; their cells hit the warm result and
+// checkpoint stores, so completing them costs roughly the work that was
+// in flight when the previous process died.
+func (s *Server) recoverJobs(entries []journalEntry) {
+	maxSeq := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.ID, "j%d", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+		j := newJob(e.ID, e.Spec, e.Submitted)
+		j.view.Recovered = true
+		j.onFinish = s.jobFinished
+		var mixes []workload.SourceMix
+		err := e.Spec.Validate(s.cfg.Limits)
+		if err == nil && e.Spec.Workloads != nil {
+			mixes, err = e.Spec.Workloads.Resolve(s.cfg.TraceDir)
+		}
+		s.mu.Lock()
+		s.jobs[e.ID] = j
+		s.order = append(s.order, e.ID)
+		s.mu.Unlock()
+		if err != nil {
+			j.finish(StateFailed, nil, nil, fmt.Sprintf("recovered from journal but no longer valid: %v", err), s.cfg.now())
+			s.logInfo("job recovery rejected", "job", e.ID, "error", err.Error())
+			continue
+		}
+		j.mixes = mixes
+		s.mu.Lock()
+		s.pending = append(s.pending, j)
+		s.mu.Unlock()
+		s.journal.add(e) // re-assert: the fresh journal starts empty
+		s.recovered.Add(1)
+		s.logInfo("job recovered", "job", e.ID, "kind", string(e.Spec.Kind))
+	}
+	s.mu.Lock()
+	if maxSeq > s.seq {
+		s.seq = maxSeq
+	}
+	s.mu.Unlock()
 }
 
 // worker pops pending jobs until the server closes.
@@ -172,7 +272,14 @@ func (s *Server) worker() {
 // runJob executes one job end to end: state transitions, per-job engine
 // stats, progress wiring, and result marshaling.
 func (s *Server) runJob(j *job) {
+	spec := j.snapshot().Spec
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	if spec.TimeoutSeconds > 0 {
+		// The spec's wall-clock deadline is enforced here, server-side:
+		// a runaway job is interrupted exactly like a cancelled one, but
+		// finalizes as failed with an attributable deadline error.
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(spec.TimeoutSeconds*float64(time.Second)))
+	}
 	defer cancel()
 	if !j.start(cancel, s.cfg.now()) {
 		return // cancelled while queued
@@ -181,21 +288,40 @@ func (s *Server) runJob(j *job) {
 
 	// Every layer below (engine workers, checkpointer, stores) records
 	// spans into whichever job's trace rides its context.
-	result, stats, err := s.execute(telemetry.WithTrace(ctx, j.trace), j)
+	result, stats, err := s.executeRecover(telemetry.WithTrace(ctx, j.trace), j)
 	now := s.cfg.now()
 	switch {
-	case err == nil && ctx.Err() != nil:
+	case err == nil && errors.Is(ctx.Err(), context.Canceled):
 		// An acknowledged cancel must win even when the computation ran
 		// to completion anyway (kinds like "area" finish faster than
-		// they poll the context).
+		// they poll the context). A deadline that fired after the work
+		// completed does not: the job beat its deadline.
 		j.finish(StateCancelled, nil, stats, "", now)
 	case err == nil:
 		j.finish(StateDone, result, stats, "", now)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateFailed, nil, stats,
+			fmt.Sprintf("job exceeded its %gs wall-clock deadline", spec.TimeoutSeconds), now)
 	case errors.Is(err, context.Canceled):
 		j.finish(StateCancelled, nil, stats, "", now)
 	default:
 		j.finish(StateFailed, nil, stats, err.Error(), now)
 	}
+}
+
+// executeRecover is execute behind a panic barrier: a panicking job —
+// a bug in a cell, a poisoned spec — fails that job with the stack trace
+// in its status (and a worker-panics tally on /metrics) instead of
+// killing the process and every other job with it.
+func (s *Server) executeRecover(ctx context.Context, j *job) (result json.RawMessage, stats *sim.EngineStats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			err = fmt.Errorf("job panicked: %v\n%s", p, debug.Stack())
+			s.logInfo("job panicked", "job", j.snapshot().ID, "panic", fmt.Sprint(p))
+		}
+	}()
+	return s.execute(ctx, j)
 }
 
 // execute dispatches on the job's kind and returns the marshaled result.
@@ -301,6 +427,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
@@ -319,6 +447,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitRetryAfterSeconds is the back-off hint sent with queue-full (and
+// shutdown) 503s. Queue slots free at job-completion granularity —
+// seconds, not milliseconds — so a couple of seconds spaces retries
+// without making well-behaved clients wait noticeably longer than the
+// queue actually needs.
+const submitRetryAfterSeconds = 2
+
+// writeUnavailable rejects a submission with 503 plus a Retry-After hint
+// so well-behaved clients back off instead of hammering a full queue.
+func writeUnavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", submitRetryAfterSeconds))
+	writeError(w, http.StatusServiceUnavailable, format, args...)
 }
 
 // handleSubmit validates a spec, registers the job, and enqueues it.
@@ -344,7 +486,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// slot can fill while traces load.
 	if err := s.admit(); err != nil {
 		s.metrics.rejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeUnavailable(w, "%v", err)
 		return
 	}
 	// Resolve custom workloads at submission time: trace files load (and
@@ -365,7 +507,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.admitLocked(); err != nil {
 		s.mu.Unlock()
 		s.metrics.rejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeUnavailable(w, "%v", err)
 		return
 	}
 	s.seq++
@@ -379,14 +521,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.evictLocked()
 	s.cond.Signal()
 	s.mu.Unlock()
+	if s.journal != nil {
+		// Best-effort durability: a failed journal write degrades the
+		// restart guarantee for this job, never the job itself. The
+		// failure sticks in the journal's health (surfaced on /readyz).
+		if err := s.journal.add(journalEntry{ID: id, Spec: spec, Submitted: j.snapshot().Created}); err != nil {
+			s.logInfo("journal write failed", "job", id, "error", err.Error())
+		}
+	}
 	s.metrics.submitted.Inc()
 	s.logInfo("job submitted", "job", id, "kind", string(spec.Kind))
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
 // jobFinished observes one terminal job view: outcome counters, queue
-// and run latencies, and the lifecycle log line.
+// and run latencies, the journal's terminal record, and the lifecycle
+// log line.
 func (s *Server) jobFinished(v Job) {
+	if s.journal != nil && !s.retainJournal.Load() {
+		// Removal is the journal's terminal record. During shutdown (or a
+		// simulated crash) entries are retained instead: a job cancelled
+		// only because the process is exiting must be re-run by the next
+		// one.
+		if err := s.journal.remove(v.ID); err != nil {
+			s.logInfo("journal write failed", "job", v.ID, "error", err.Error())
+		}
+	}
 	s.metrics.observeFinish(v)
 	args := []any{"job", v.ID, "state", string(v.State)}
 	if v.Started != nil && v.Finished != nil {
@@ -497,7 +657,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleStream serves a job's server-sent event stream: the current
 // state immediately, progress events as cells resolve, and a final
-// "state" event carrying the terminal job (result included).
+// "state" event carrying the terminal job (result included). Every
+// event carries an id; a reconnecting client that sends it back as
+// Last-Event-ID skips the redundant initial snapshot when it is already
+// current (events are cumulative snapshots, so nothing needs replaying).
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
 	if j == nil {
@@ -514,10 +677,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.sseSubs.Inc()
 	defer s.metrics.sseSubs.Dec()
-	ch, snap := j.subscribe()
+	ch, snap, seq := j.subscribe()
 	defer j.unsubscribe(ch)
-	writeEvent(w, Event{Name: "state", Data: snap})
-	flusher.Flush()
+	lastID, lastErr := strconv.ParseUint(r.Header.Get("Last-Event-ID"), 10, 64)
+	current := lastErr == nil && lastID >= seq
+	if !current || snap.State.Terminal() {
+		// The terminal snapshot is always sent, even to a current client:
+		// it is the event reconnecting clients are waiting for.
+		writeEvent(w, Event{ID: seq, Name: "state", Data: snap})
+		flusher.Flush()
+	}
 	if snap.State.Terminal() {
 		return
 	}
@@ -534,7 +703,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 						writeEvent(w, ev)
 					}
 				default:
-					writeEvent(w, Event{Name: "state", Data: j.snapshot()})
+					final, fseq := j.snapshotSeq()
+					writeEvent(w, Event{ID: fseq, Name: "state", Data: final})
 					flusher.Flush()
 					return
 				}
@@ -556,7 +726,7 @@ func writeEvent(w http.ResponseWriter, ev Event) {
 	if err != nil {
 		data = []byte(`{}`)
 	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, data)
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Name, data)
 }
 
 // StatsReport is GET /v1/stats: the shared engine's lifetime tallies.
@@ -589,5 +759,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the load-balancer readiness probe: 200 while the
+// server can do useful durable work, 503 (with the reasons) once it
+// cannot — shutting down, queue saturated, a backing store degraded off
+// its durable path, or the journal unwritable. Unlike /healthz, which
+// only proves the process is up, not-ready is expected to be transient
+// (queue drains) or to mean "route new work elsewhere" (degraded
+// stores: jobs still succeed here, but without durability).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	s.mu.Lock()
+	if s.closed {
+		reasons = append(reasons, "server shutting down")
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		reasons = append(reasons, fmt.Sprintf("job queue saturated (%d queued)", len(s.pending)))
+	}
+	s.mu.Unlock()
+	if why, bad := s.lab.Degraded(); bad {
+		reasons = append(reasons, why)
+	}
+	if s.journalErr != nil {
+		reasons = append(reasons, s.journalErr.Error())
+	} else if s.journal != nil {
+		if why, ok := s.journal.healthy(); !ok {
+			reasons = append(reasons, "journal: "+why)
+		}
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unavailable", "reasons": reasons})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

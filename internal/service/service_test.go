@@ -649,6 +649,9 @@ func TestCancelFreesQueueSlot(t *testing.T) {
 		Workers:    1,
 		QueueDepth: 1,
 	})
+	// These tests assert the raw queue-full 503 contract; the client's
+	// default retry-on-503 would wait out the queue and hide it.
+	client.MaxRetries = -1
 	ctx := context.Background()
 	long := JobSpec{
 		Kind:       KindFig9,
@@ -712,6 +715,9 @@ func TestQueueFull(t *testing.T) {
 		Workers:    1,
 		QueueDepth: 1,
 	})
+	// These tests assert the raw queue-full 503 contract; the client's
+	// default retry-on-503 would wait out the queue and hide it.
+	client.MaxRetries = -1
 	ctx := context.Background()
 	// One slow job occupies the worker; one fills the queue; the third
 	// must bounce. (The first job may pop from the queue immediately, so

@@ -70,6 +70,29 @@ type JobSpec struct {
 	// builtin benchmarks, inline custom profiles, and recorded traces
 	// from the server's trace directory. Nil keeps the builtin mixes.
 	Workloads *WorkloadsSpec `json:"workloads,omitempty"`
+
+	// TimeoutSeconds, when positive, bounds the job's wall-clock
+	// execution time, enforced server-side: a job still running when the
+	// deadline fires is interrupted and finalized as failed with a
+	// deadline error. Fractional values are honored (0.5 is 500ms). 0
+	// means no deadline. Valid for every kind; capped at one day.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// maxTimeoutSeconds caps per-job deadlines at one day: beyond that a
+// "deadline" is indistinguishable from no deadline, and absurd values
+// usually mean a units mistake in the client.
+const maxTimeoutSeconds = 86400
+
+// validateTimeout checks the spec's wall-clock deadline, kind-agnostic.
+func (spec JobSpec) validateTimeout() error {
+	if spec.TimeoutSeconds < 0 {
+		return fmt.Errorf("timeout_seconds must not be negative")
+	}
+	if spec.TimeoutSeconds > maxTimeoutSeconds {
+		return fmt.Errorf("timeout_seconds %g exceeds the maximum %d", spec.TimeoutSeconds, maxTimeoutSeconds)
+	}
+	return nil
 }
 
 // WorkloadsSpec is the spec's custom-workload object. Every mix entry
@@ -342,6 +365,9 @@ var figureKinds = map[string]struct{ caps, nrhs, xs bool }{
 // scheduler can run the job as-is.
 func (spec JobSpec) Validate(l Limits) error {
 	l = l.withDefaults()
+	if err := spec.validateTimeout(); err != nil {
+		return err
+	}
 	switch spec.Kind {
 	case KindFig9, KindFig12, KindFig13, KindFig14, KindFig15, KindFig16:
 		uses := figureKinds[spec.Kind]

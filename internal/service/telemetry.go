@@ -3,6 +3,7 @@ package service
 import (
 	"net/http"
 
+	"hira/internal/fault"
 	"hira/internal/telemetry"
 )
 
@@ -50,6 +51,35 @@ func newSvcMetrics(r *telemetry.Registry, s *Server) *svcMetrics {
 			defer s.mu.Unlock()
 			return float64(len(s.pending))
 		})
+	r.CounterFunc("hira_jobs_recovered_total",
+		"Jobs re-enqueued from the journal after a server restart.",
+		func() float64 { return float64(s.recovered.Load()) })
+	r.CounterFunc("hira_worker_panics_total",
+		"Panics recovered inside cell or job execution; each failed one job, never the process.",
+		func() float64 { return float64(s.panics.Load() + s.lab.Stats().Panics) })
+	r.GaugeFunc("hira_store_degraded",
+		"1 when a backing store fell off its durable path (result store cache-only, or checkpoint store in-memory).",
+		func() float64 {
+			if _, bad := s.lab.Degraded(); bad {
+				return 1
+			}
+			return 0
+		})
+	// Fault-injection counters are registered per site unconditionally —
+	// the family catalogue must not depend on whether this process runs
+	// under chaos — and sample zero outside fault-injection runs
+	// (Injector.Fired is nil-safe).
+	var injector *fault.Injector
+	if in, ok := s.cfg.Engine.FS.(*fault.Injector); ok {
+		injector = in
+	}
+	for _, site := range fault.Sites() {
+		site := site
+		r.CounterFunc("hira_faults_injected_total",
+			"Faults injected by the chaos harness, by site; always 0 outside fault-injection runs.",
+			func() float64 { return float64(injector.Fired(site)) },
+			telemetry.Label{Key: "site", Value: string(site)})
+	}
 	return m
 }
 

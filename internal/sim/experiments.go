@@ -3,10 +3,12 @@ package sim
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"hira/internal/cache"
 	"hira/internal/cpu"
 	"hira/internal/engine"
+	"hira/internal/fault"
 	"hira/internal/metrics"
 	"hira/internal/telemetry"
 	"hira/internal/workload"
@@ -253,6 +255,10 @@ type EngineConfig struct {
 	// histograms, snapshot-store economics, and coarse scheduler
 	// aggregates. Nil disables instrumentation at one branch per site.
 	Telemetry *telemetry.Registry
+	// FS, when non-nil, routes result- and checkpoint-store file I/O
+	// through a fault-injection seam (see internal/fault) — armed by
+	// chaos tests and hira-server's -faults flag, nil everywhere else.
+	FS fault.FS
 }
 
 // NewEngine builds a shared experiment engine.
@@ -260,6 +266,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 	opts := engine.Options{
 		Parallelism: cfg.Parallelism,
 		ResultDir:   cfg.ResultDir,
+		FS:          cfg.FS,
 	}
 	if cfg.Telemetry != nil {
 		opts.Metrics = engine.NewMetrics(cfg.Telemetry)
@@ -270,7 +277,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		sim:          newSimMetrics(cfg.Telemetry),
 	}
 	if cfg.SnapInterval > 0 {
-		e.snaps = engine.NewSnapStore(cfg.ResultDir, cfg.SnapMaxBytes)
+		e.snaps = engine.NewSnapStoreFS(cfg.ResultDir, cfg.SnapMaxBytes, cfg.FS)
 	}
 	if cfg.Telemetry != nil {
 		engine.RegisterStatsFuncs(cfg.Telemetry, e.eng.Stats)
@@ -279,6 +286,23 @@ func NewEngine(cfg EngineConfig) *Engine {
 		}
 	}
 	return e
+}
+
+// Degraded reports whether either backing store has fallen off its
+// configured durable path: the result store into cache-only mode, or the
+// checkpoint store into in-memory mode. The returned reason names the
+// store(s); ok is false when both are healthy.
+func (e *Engine) Degraded() (string, bool) {
+	var reasons []string
+	if why, bad := e.eng.StoreDegraded(); bad {
+		reasons = append(reasons, "result store: "+why)
+	}
+	if e.snaps != nil {
+		if why, bad := e.snaps.Degraded(); bad {
+			reasons = append(reasons, "checkpoint store: "+why)
+		}
+	}
+	return strings.Join(reasons, "; "), len(reasons) > 0
 }
 
 // SnapshotStats reports the checkpoint store's tallies; ok is false when
