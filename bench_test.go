@@ -117,6 +117,32 @@ func BenchmarkFig9Periodic(b *testing.B) {
 	b.ReportMetric(hi.NormBaseline["HiRA-2"], "hira2/base@128Gb")
 }
 
+// BenchmarkFig9PeriodicForensics is BenchmarkFig9Periodic with the
+// RowHammer forensics ledger attached to every cell: its ns/op against
+// the plain run is the sweep-level forensics overhead (the figures
+// themselves are bit-identical either way), and the headline metrics
+// must match BenchmarkFig9Periodic's exactly.
+func BenchmarkFig9PeriodicForensics(b *testing.B) {
+	opts := quickSim()
+	opts.Forensics = true
+	var rows []hira.Fig9Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = hira.Fig9(context.Background(), opts, []int{8, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hi := rows[1]
+	b.ReportMetric(hi.NormNoRefresh["Baseline"], "base/noref@128Gb")
+	b.ReportMetric(hi.NormBaseline["HiRA-2"], "hira2/base@128Gb")
+	fx := hi.Forensics["HiRA-2"]
+	if fx == nil {
+		b.Fatal("no forensics on the 128Gb HiRA-2 row")
+	}
+	b.ReportMetric(float64(fx.MaxInterrefACTs), "max-interref-acts")
+}
+
 // BenchmarkEngineFig9Parallel measures the experiment engine's parallel
 // speedup on a Fig. 9-shaped weighted-speedup sweep: a serial
 // (Parallelism 1) reference is timed once, the benchmark loop runs the

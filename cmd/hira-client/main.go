@@ -43,6 +43,8 @@ var (
 	nrhs              = flag.String("nrhs", "", "comma-separated RowHammer thresholds (fig12/15/16)")
 	xs                = flag.String("xs", "", "comma-separated channel/rank axis (fig13-16)")
 	timeout           = flag.Float64("timeout", 0, "server-side wall-clock deadline for the job in seconds (0 = none)")
+	forensics         = flag.Bool("forensics", false, "attach the RowHammer forensics ledger; fetch the report at /v1/jobs/{id}/forensics")
+	forensicsR        = flag.Bool("forensics-recorder", false, "arm the DRAM command flight recorder (requires -forensics)")
 	progress          = flag.Bool("progress", false, "print cell progress to stderr")
 	cancelOnInterrupt = flag.Bool("cancel-on-interrupt", true, "Ctrl-C cancels the submitted job server-side")
 )
@@ -119,8 +121,11 @@ func workloadsObject() (*service.WorkloadsSpec, int, error) {
 
 func run() int {
 	spec := service.JobSpec{Kind: *exp, TimeoutSeconds: *timeout}
-	if *workloads != 0 || *cores != 0 || *ticks != 0 || *warmup != 0 || *seed != 0 {
-		spec.Sim = &service.SimSpec{Workloads: *workloads, Cores: *cores, Measure: *ticks, Warmup: *warmup, Seed: *seed}
+	if *workloads != 0 || *cores != 0 || *ticks != 0 || *warmup != 0 || *seed != 0 || *forensics {
+		spec.Sim = &service.SimSpec{
+			Workloads: *workloads, Cores: *cores, Measure: *ticks, Warmup: *warmup, Seed: *seed,
+			Forensics: *forensics, ForensicsRecorder: *forensicsR,
+		}
 	}
 	ws, assumedCores, err := workloadsObject()
 	if err != nil {

@@ -48,6 +48,8 @@ var (
 	snapIvl    = flag.Int("snap-interval", 0, "ticks between simulation checkpoints; rerunning with longer -ticks/-warmup then simulates only the delta (0 disables)")
 	snapMax    = flag.Int64("snap-max-bytes", 0, "checkpoint store byte cap with oldest-first eviction (0 = 2 GiB on disk, 256 MiB in memory)")
 	progress   = flag.Bool("progress", false, "print per-batch cell progress to stderr")
+	forensics  = flag.Bool("forensics", false, "attach the RowHammer activation ledger; per-policy forensics summaries print after each table (and ride figure rows in -json)")
+	forensicsR = flag.Bool("forensics-recorder", false, "arm the DRAM command flight recorder around top-threshold crossings (requires -forensics)")
 	jsonOut    = flag.Bool("json", false, "emit figure rows as JSON (the experiment service's encoding)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
@@ -142,6 +144,7 @@ func opts() hira.SimOptions {
 		Workloads: *workloads, Cores: *cores, Measure: *ticks, Warmup: *warmup, Seed: *seed,
 		Mixes: mixSet, Parallelism: *parallel, ResultDir: *results, Stats: &engineStats,
 		SnapInterval: *snapIvl, SnapMaxBytes: *snapMax,
+		Forensics: *forensics, ForensicsRecorder: *forensicsR,
 	}
 	if *progress {
 		o.Progress = func(done, total int) {
@@ -155,13 +158,40 @@ func opts() hira.SimOptions {
 	return o
 }
 
-func names(ws map[string]float64) []string {
+func names[T any](ws map[string]T) []string {
 	out := make([]string, 0, len(ws))
 	for n := range ws {
 		out = append(out, n)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// forensicsBlock prints one sweep row's per-policy forensics summaries,
+// prefixed with the row's x-axis label. No-op when the row carries none.
+func forensicsBlock(label string, fx map[string]*hira.ForensicsSummary) {
+	for _, n := range names(fx) {
+		f := fx[n]
+		t := f.Tally
+		fmt.Printf("%s %-11s maxACT=%-6d cross%v=%v useful=%d wasted=%d periodic=%d piggyback=%d+%d",
+			label, n, f.MaxInterrefACTs, f.Thresholds, t.Crossings[:len(f.Thresholds)],
+			t.PreventiveUseful, t.PreventiveWasted, t.PeriodicRowRefreshes,
+			t.PiggybackPreventive, t.PiggybackPeriodic)
+		if len(f.Events) > 0 || f.DroppedEvents > 0 {
+			fmt.Printf(" events=%d dropped=%d", len(f.Events), f.DroppedEvents)
+		}
+		fmt.Println()
+	}
+}
+
+// forensicsSection prints the forensics blocks of a whole figure, one row
+// per (x-axis point, policy); rows without forensics contribute nothing.
+func forensicsSection(print func()) {
+	if !*forensics {
+		return
+	}
+	fmt.Println("\n== RowHammer forensics (measured phase, summed across mixes) ==")
+	print()
 }
 
 func fig9(ctx context.Context) error {
@@ -192,6 +222,11 @@ func fig9(ctx context.Context) error {
 		fmt.Println()
 	}
 	fmt.Println("paper @128Gb: baseline 26.3% below No Refresh; HiRA-2 +12.6% over baseline")
+	forensicsSection(func() {
+		for _, r := range rows {
+			forensicsBlock(fmt.Sprintf("%5dGb ", r.CapacityGbit), r.Forensics)
+		}
+	})
 	return nil
 }
 
@@ -223,6 +258,11 @@ func fig12(ctx context.Context) error {
 		fmt.Println()
 	}
 	fmt.Println("paper @NRH=64: PARA 96% overhead; HiRA-4 3.73x over PARA")
+	forensicsSection(func() {
+		for _, r := range rows {
+			forensicsBlock(fmt.Sprintf("%7d ", r.NRH), r.Forensics)
+		}
+	})
 	return nil
 }
 
@@ -243,6 +283,11 @@ func scale(rows []hira.ScaleRow, xName, pName string, err error) error {
 		}
 		fmt.Println()
 	}
+	forensicsSection(func() {
+		for _, r := range rows {
+			forensicsBlock(fmt.Sprintf("%6d %8d", r.Param, r.X), r.Forensics)
+		}
+	})
 	return nil
 }
 
@@ -260,6 +305,10 @@ func run() int {
 			return 1
 		}
 		return 0
+	}
+	if *forensicsR && !*forensics {
+		fmt.Fprintln(os.Stderr, "-forensics-recorder requires -forensics")
+		return 2
 	}
 	var err error
 	if mixSet, err = customMixes(); err != nil {

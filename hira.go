@@ -172,6 +172,11 @@ type (
 	Fig12Row = sim.Fig12Row
 	// ScaleRow is one point of the §10 channel/rank sweeps.
 	ScaleRow = sim.ScaleRow
+	// ForensicsSummary is the per-policy RowHammer forensics report a
+	// sweep row carries when SimOptions.Forensics is set: the activation
+	// ledger's tallies, threshold-crossing counts, and (with
+	// ForensicsRecorder) the flight recorder's command log.
+	ForensicsSummary = sim.ForensicsSummary
 )
 
 // Policy constructors.

@@ -314,14 +314,14 @@ func (b *bankRC) chooseSubarray(candidates []int) int {
 // Piggyback implements sched.RefreshEngine: Case 1 of §5.1.3. The demand
 // access is about to activate loc.Row; offer a row whose subarray is
 // isolated from the demand row's subarray.
-func (m *HiRAMC) Piggyback(loc dram.Location, now dram.Time) (int, bool) {
+func (m *HiRAMC) Piggyback(loc dram.Location, now dram.Time) (int, bool, bool) {
 	if m.cfg.SPT == nil {
-		return 0, false
+		return 0, false, false
 	}
 	b := m.bank(loc.Channel, loc.Rank, loc.Bank)
 	b.offered = nil
 	if b.armedSet || len(b.queue) == 0 {
-		return 0, false
+		return 0, false, false
 	}
 	// Only entries whose deadline is approaching are worth hiding: a
 	// refresh with ample slack left can still ride a later access or an
@@ -329,7 +329,7 @@ func (m *HiRAMC) Piggyback(loc dram.Location, now dram.Time) (int, bool) {
 	// t1+t2 and an extra activation now.
 	urgency := 2 * m.cfg.Timing.TRC
 	if b.minDeadline-now > urgency {
-		return 0, false
+		return 0, false, false
 	}
 	demandSA := m.cfg.Org.SubarrayOfRow(loc.Row)
 	// Iterate entries in deadline order (the queue is near-sorted:
@@ -360,14 +360,14 @@ func (m *HiRAMC) Piggyback(loc dram.Location, now dram.Time) (int, bool) {
 		}
 	}
 	if bestIdx < 0 {
-		return 0, false
+		return 0, false, false
 	}
 	e := b.queue[bestIdx]
 	row := e.row
 	if !e.preventive {
 		sa := b.chooseSubarray(m.cfg.SPT.Partners(demandSA))
 		if sa < 0 {
-			return 0, false
+			return 0, false, false
 		}
 		// Refresh-completeness guard: only piggyback if the chosen
 		// subarray is not ahead of the globally least-refreshed one.
@@ -376,13 +376,13 @@ func (m *HiRAMC) Piggyback(loc dram.Location, now dram.Time) (int, bool) {
 		// never isolated from the demand stream's subarrays still meet
 		// tREFW.
 		if b.refreshed[sa] > b.minRef+2 {
-			return 0, false
+			return 0, false, false
 		}
 		row = sa*m.cfg.Org.RowsPerSubarray + b.refPtr[sa]
 	}
 	b.offered = &b.queue[bestIdx]
 	b.offeredRow = row
-	return row, true
+	return row, e.preventive, true
 }
 
 // Mandatory implements sched.RefreshEngine: Case 2 of §5.1.3. Entries
@@ -484,7 +484,8 @@ func (m *HiRAMC) armOp(b *bankRC, rank, bank, idx int) sched.Op {
 	if e.preventive && m.cfg.Preventive == PreventiveImmediate {
 		kind = sched.OpRowRefreshBlocking
 	}
-	op := sched.Op{Kind: kind, Rank: rank, Bank: bank, RowA: rowA, RowB: -1}
+	op := sched.Op{Kind: kind, Rank: rank, Bank: bank, RowA: rowA, RowB: -1,
+		PreventiveA: e.preventive}
 	consumed := [2]int{idx, 0}
 	nConsumed := 1
 
@@ -503,7 +504,8 @@ func (m *HiRAMC) armOp(b *bankRC, rank, bank, idx int) sched.Op {
 			if !m.cfg.SPT.Isolated(saA, m.cfg.Org.SubarrayOfRow(rowB)) {
 				continue
 			}
-			op = sched.Op{Kind: sched.OpHiRAPair, Rank: rank, Bank: bank, RowA: rowA, RowB: rowB}
+			op = sched.Op{Kind: sched.OpHiRAPair, Rank: rank, Bank: bank, RowA: rowA, RowB: rowB,
+				PreventiveA: e.preventive, PreventiveB: e2.preventive}
 			consumed[1] = j
 			nConsumed = 2
 			break

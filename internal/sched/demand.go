@@ -219,12 +219,16 @@ func (c *Controller) tryActivate(ch *channel, r *Request) bool {
 	t := c.cfg.Timing
 	// Ask the engine for a piggyback row (Case 1 of §5.1.3).
 	if ch.seq == nil {
-		if row, ok := c.engine.Piggyback(dram.Location{
+		if row, preventive, ok := c.engine.Piggyback(dram.Location{
 			BankID: dram.BankID{Channel: ch.id, Rank: r.Loc.Rank, Bank: r.Loc.Bank},
 			Row:    r.Loc.Row,
 		}, c.now); ok {
 			// Two activations t1+t2 apart: check power headroom for both.
 			if c.canACT(ch, r.Loc.Rank, r.Loc.Bank, 2, t.T1+t.T2) {
+				if c.forensics != nil {
+					c.forensics.classifyRefresh(ch.id, c.flat(r.Loc.Rank, r.Loc.Bank),
+						row, preventive, true)
+				}
 				c.startHiRASequence(ch, r.Loc.Rank, r.Loc.Bank, row, r.Loc.Row, true)
 				c.Stats.HiRAPiggybacks++
 				c.engine.NoteRefreshed(Op{Kind: OpRowRefresh, Rank: r.Loc.Rank, Bank: r.Loc.Bank, RowA: row},
@@ -267,6 +271,9 @@ func (c *Controller) tryActivate(ch *channel, r *Request) bool {
 	bank.readyCol = c.now + t.TRCD
 	bank.readyPRE = c.now + t.TRAS
 	bank.readyACT = c.now + t.TRC
+	if c.forensics != nil {
+		c.forensics.demandACT(ch.id, flat, r.Loc.Row)
+	}
 	c.engine.NoteActivate(dram.Location{
 		BankID: dram.BankID{Channel: ch.id, Rank: r.Loc.Rank, Bank: r.Loc.Bank},
 		Row:    r.Loc.Row,

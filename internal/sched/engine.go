@@ -14,7 +14,7 @@ func (NoRefresh) Tick(dram.Time) {}
 func (NoRefresh) Mandatory(int, dram.Time) []Op { return nil }
 
 // Piggyback implements RefreshEngine.
-func (NoRefresh) Piggyback(dram.Location, dram.Time) (int, bool) { return 0, false }
+func (NoRefresh) Piggyback(dram.Location, dram.Time) (int, bool, bool) { return 0, false, false }
 
 // NoteActivate implements RefreshEngine.
 func (NoRefresh) NoteActivate(dram.Location, bool, dram.Time) {}
@@ -64,7 +64,7 @@ func (b *BaselineREF) Mandatory(channel int, now dram.Time) []Op {
 }
 
 // Piggyback implements RefreshEngine.
-func (b *BaselineREF) Piggyback(dram.Location, dram.Time) (int, bool) { return 0, false }
+func (b *BaselineREF) Piggyback(dram.Location, dram.Time) (int, bool, bool) { return 0, false, false }
 
 // NoteActivate implements RefreshEngine.
 func (b *BaselineREF) NoteActivate(dram.Location, bool, dram.Time) {}

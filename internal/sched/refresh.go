@@ -46,6 +46,9 @@ func (c *Controller) issueREFWork(ch *channel) bool {
 			bank := &ch.banks[base+b]
 			bank.readyACT = maxTime(bank.readyACT, rk.refBusy)
 		}
+		if c.forensics != nil {
+			c.forensics.rankREF(ch.id, rank)
+		}
 		c.engine.NoteRefreshed(Op{Kind: OpRankREF, Rank: rank}, ch.id, c.now)
 		return true
 	}
@@ -95,6 +98,12 @@ func (c *Controller) startOp(ch *channel, op Op) bool {
 			if !c.canACT(ch, op.Rank, op.Bank, 2, t.T1+t.T2) {
 				return false
 			}
+			if c.forensics != nil {
+				// Classify both rows before the sequence's first ACT
+				// resets the ledger under them.
+				c.forensics.classifyRefresh(ch.id, flat, op.RowA, op.PreventiveA, false)
+				c.forensics.classifyRefresh(ch.id, flat, op.RowB, op.PreventiveB, false)
+			}
 			c.startHiRASequence(ch, op.Rank, op.Bank, op.RowA, op.RowB, false)
 			c.Stats.HiRAPairs++
 			c.engine.NoteRefreshed(op, ch.id, c.now)
@@ -103,6 +112,9 @@ func (c *Controller) startOp(ch *channel, op Op) bool {
 		// Standalone row refresh: ACT now, PRE after tRAS.
 		if !c.canACT(ch, op.Rank, op.Bank, 1, 0) {
 			return false
+		}
+		if c.forensics != nil {
+			c.forensics.classifyRefresh(ch.id, flat, op.RowA, op.PreventiveA, false)
 		}
 		c.emit(ch, dram.Command{Kind: dram.KindACT,
 			Loc: dram.Location{BankID: dram.BankID{Rank: op.Rank, Bank: op.Bank}, Row: op.RowA}})
@@ -122,6 +134,9 @@ func (c *Controller) startOp(ch *channel, op Op) bool {
 			// A conventional controller performs the preventive refresh
 			// atomically: the rank is held for a full row cycle.
 			rk.refBusy = c.now + t.TRC
+		}
+		if c.forensics != nil {
+			c.forensics.refreshACT(ch.id, flat, op.RowA)
 		}
 		c.engine.NoteRefreshed(op, ch.id, c.now)
 		c.engine.NoteActivate(dram.Location{

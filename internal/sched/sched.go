@@ -56,6 +56,11 @@ type Op struct {
 	Kind       OpKind
 	Rank, Bank int // Bank is rank-relative; ignored for OpRankREF
 	RowA, RowB int // RowA for single; RowA (hidden) + RowB for pairs
+	// PreventiveA/PreventiveB report whether RowA/RowB refresh a PARA
+	// victim rather than performing periodic retention work. They are
+	// forensics attribution only: the controller's scheduling and the
+	// engine's bookkeeping ignore them.
+	PreventiveA, PreventiveB bool
 }
 
 // RefreshEngine is the controller's refresh policy. Implementations:
@@ -73,7 +78,9 @@ type RefreshEngine interface {
 	// Piggyback is consulted when the controller is about to activate a
 	// demand row: the engine may return a row in the same bank to refresh
 	// "for free" via a HiRA prologue (refresh-access parallelization).
-	Piggyback(loc dram.Location, now dram.Time) (row int, ok bool)
+	// preventive reports whether the offered row is a PARA victim (vs
+	// periodic retention work) — forensics attribution only.
+	Piggyback(loc dram.Location, now dram.Time) (row int, preventive, ok bool)
 	// NoteActivate informs the engine of every row activation and
 	// whether it serves a demand access (PARA's sampling point) or
 	// refresh work.
@@ -268,6 +275,10 @@ type Controller struct {
 	// CommandHook observes every command placed on a command bus. May be
 	// nil.
 	CommandHook func(dram.Command)
+
+	// forensics, when non-nil, is the RowHammer activation ledger fed by
+	// nil-checked hooks on the command paths (see EnableForensics).
+	forensics *Forensics
 
 	Stats Stats
 }
@@ -596,6 +607,9 @@ func (c *Controller) emit(ch *channel, cmd dram.Command) {
 	cmd.Loc.Channel = ch.id
 	ch.lastCmd = c.now
 	ch.hasCmd = true
+	if f := c.forensics; f != nil && f.pre != nil {
+		f.record(cmd)
+	}
 	if c.CommandHook != nil {
 		c.CommandHook(cmd)
 	}
@@ -776,6 +790,13 @@ func (c *Controller) issueSeq(ch *channel) bool {
 				bank.pendingPRE = true
 				bank.pendingPREAt = s.plannedSecond + c.cfg.Timing.TRAS
 				ch.pendingPREs++
+			}
+		}
+		if c.forensics != nil {
+			if cmd.phase == dram.HiRASecondACT && s.access {
+				c.forensics.demandACT(ch.id, s.flat, cmd.row)
+			} else {
+				c.forensics.refreshACT(ch.id, s.flat, cmd.row)
 			}
 		}
 		c.engine.NoteActivate(dram.Location{

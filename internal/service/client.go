@@ -217,6 +217,16 @@ func (c *Client) Trace(ctx context.Context, id string) (*telemetry.View, error) 
 	return &v, nil
 }
 
+// Forensics fetches a finished job's per-policy RowHammer forensics
+// report (jobs submitted with SimSpec.Forensics).
+func (c *Client) Forensics(ctx context.Context, id string) (*ForensicsView, error) {
+	var v ForensicsView
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/forensics", nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
 // Stats fetches the server's engine tallies.
 func (c *Client) Stats(ctx context.Context) (*StatsReport, error) {
 	var rep StatsReport

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hira/internal/sim"
+)
+
+// TestForensicsEndpoint runs a forensics-enabled PARA job end to end and
+// checks GET /v1/jobs/{id}/forensics in both encodings: the JSON view's
+// tallies must satisfy the accounting identity, and the chrome view must
+// be a loadable trace-event document carrying the flight recorder's DRAM
+// commands.
+func TestForensicsEndpoint(t *testing.T) {
+	svc, client := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	spec := JobSpec{
+		Kind:     KindPolicies,
+		Policies: []PolicySpec{{Type: "para", NRH: 1024}, {Type: "para+hira", NRH: 1024, Slack: 4}},
+		Sim: &SimSpec{
+			Workloads: 1, Cores: 4, Warmup: 2000, Measure: 6000, Seed: 1,
+			Forensics: true, ForensicsRecorder: true,
+		},
+	}
+	job, err := client.Run(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateDone {
+		t.Fatalf("job state = %s (%s)", job.State, job.Error)
+	}
+
+	view, err := client.Forensics(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.JobID != job.ID || view.Kind != KindPolicies {
+		t.Errorf("view header = %s/%s, want %s/%s", view.JobID, view.Kind, job.ID, KindPolicies)
+	}
+	if len(view.Policies) != 2 {
+		t.Fatalf("got %d policies, want 2", len(view.Policies))
+	}
+	for _, p := range view.Policies {
+		f := p.Forensics
+		if f == nil {
+			t.Fatalf("policy %s carries no forensics", p.Policy)
+		}
+		tl := f.Tally
+		if got := tl.PreventiveUseful + tl.PreventiveWasted + tl.PeriodicRowRefreshes; got != tl.RefreshACTs {
+			t.Errorf("policy %s: useful+wasted+periodic = %d, want RefreshACTs = %d", p.Policy, got, tl.RefreshACTs)
+		}
+		if tl.DemandACTs == 0 || f.MaxInterrefACTs == 0 {
+			t.Errorf("policy %s: empty ledger (%+v)", p.Policy, tl)
+		}
+	}
+
+	// Chrome encoding: merged across policies, valid trace-event JSON.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/forensics?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chrome fetch status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("chrome document does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event phase %q, want X", e.Ph)
+		}
+	}
+
+	// A job without forensics 404s with a hint.
+	plain, err := client.Run(ctx, testSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + plain.ID + "/forensics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("forensics of plain job: status %d, want 404", resp2.StatusCode)
+	}
+	hint, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(hint), "forensics") {
+		t.Errorf("404 body carries no hint: %s", hint)
+	}
+}
+
+// TestForensicsSpecValidation pins the spec rules: the recorder requires
+// the ledger, and non-sim kinds reject the sim block (and with it the
+// forensics flags).
+func TestForensicsSpecValidation(t *testing.T) {
+	_, client := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	bad := testSpec()
+	bad.Sim.ForensicsRecorder = true
+	if _, err := client.Submit(ctx, bad); err == nil {
+		t.Error("forensics_recorder without forensics accepted")
+	}
+
+	area := JobSpec{Kind: KindArea, Sim: &SimSpec{Forensics: true}}
+	if _, err := client.Submit(ctx, area); err == nil {
+		t.Error("area job with a sim block accepted")
+	}
+
+	ok := testSpec()
+	ok.Sim.Forensics = true
+	sub, err := client.Submit(ctx, ok)
+	if err != nil {
+		t.Fatalf("forensics fig9 spec rejected: %v", err)
+	}
+	job, err := client.Wait(ctx, sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateDone {
+		t.Fatalf("job state = %s (%s)", job.State, job.Error)
+	}
+	var res sim.FigureResult
+	if err := json.Unmarshal(job.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fig9) == 0 || res.Fig9[0].Forensics == nil {
+		t.Error("fig9 rows carry no forensics maps")
+	}
+}

@@ -96,6 +96,7 @@ type Server struct {
 	retainJournal atomic.Bool
 	recovered     atomic.Uint64 // jobs re-enqueued from the journal
 	panics        atomic.Uint64 // job executions that ended in a recovered panic
+	droppedSpans  atomic.Uint64 // job-trace spans lost to the per-job cap, folded in as jobs finish
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signals workers when pending grows or the server closes
@@ -307,6 +308,9 @@ func (s *Server) runJob(j *job) {
 	default:
 		j.finish(StateFailed, nil, stats, err.Error(), now)
 	}
+	if _, dropped := j.trace.SpanCount(); dropped > 0 {
+		s.droppedSpans.Add(dropped)
+	}
 }
 
 // executeRecover is execute behind a panic barrier: a panicking job —
@@ -425,6 +429,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/forensics", s.handleForensics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

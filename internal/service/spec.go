@@ -143,6 +143,14 @@ type SimSpec struct {
 	Warmup    int    `json:"warmup,omitempty"`
 	Measure   int    `json:"measure,omitempty"`
 	Seed      uint64 `json:"seed,omitempty"`
+	// Forensics runs the sweep's simulation cells with the RowHammer
+	// forensics ledger enabled; per-policy summaries land in the result
+	// and on GET /v1/jobs/{id}/forensics. Figures are bit-identical
+	// either way, but forensics cells never resume from checkpoints.
+	Forensics bool `json:"forensics,omitempty"`
+	// ForensicsRecorder additionally arms the DRAM command flight
+	// recorder; requires Forensics.
+	ForensicsRecorder bool `json:"forensics_recorder,omitempty"`
 }
 
 // ConfigSpec is the base system shape for policy evaluations. Zero
@@ -518,6 +526,9 @@ func (s *SimSpec) validate(l Limits) error {
 	if s.Warmup+s.Measure > l.MaxTicks {
 		return fmt.Errorf("warmup+measure %d exceeds the limit of %d ticks", s.Warmup+s.Measure, l.MaxTicks)
 	}
+	if s.ForensicsRecorder && !s.Forensics {
+		return fmt.Errorf("forensics_recorder requires forensics")
+	}
 	return nil
 }
 
@@ -531,6 +542,7 @@ func (s *SimSpec) options() sim.Options {
 	return sim.Options{
 		Workloads: s.Workloads, Cores: s.Cores,
 		Warmup: s.Warmup, Measure: s.Measure, Seed: s.Seed,
+		Forensics: s.Forensics, ForensicsRecorder: s.ForensicsRecorder,
 	}
 }
 

@@ -2,6 +2,8 @@ package service
 
 import (
 	"net/http"
+	"runtime"
+	"runtime/debug"
 
 	"hira/internal/fault"
 	"hira/internal/telemetry"
@@ -51,6 +53,14 @@ func newSvcMetrics(r *telemetry.Registry, s *Server) *svcMetrics {
 			defer s.mu.Unlock()
 			return float64(len(s.pending))
 		})
+	r.CounterFunc("hira_trace_dropped_spans_total",
+		"Job-trace spans dropped at the per-job span cap, folded in as jobs finish.",
+		func() float64 { return float64(s.droppedSpans.Load()) })
+	r.GaugeFunc("hira_build_info",
+		"Build metadata of the serving binary; the value is always 1.",
+		func() float64 { return 1 },
+		telemetry.Label{Key: "version", Value: buildVersion()},
+		telemetry.Label{Key: "go", Value: runtime.Version()})
 	r.CounterFunc("hira_jobs_recovered_total",
 		"Jobs re-enqueued from the journal after a server restart.",
 		func() float64 { return float64(s.recovered.Load()) })
@@ -81,6 +91,16 @@ func newSvcMetrics(r *telemetry.Registry, s *Server) *svcMetrics {
 			telemetry.Label{Key: "site", Value: string(site)})
 	}
 	return m
+}
+
+// buildVersion reports the main module's version from the build info
+// ("devel" for plain source builds, a tag or pseudo-version for module
+// builds), labeling hira_build_info.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
 }
 
 // observeFinish folds one terminal job view into the tallies. Nil-safe:

@@ -26,6 +26,10 @@ type CellResult struct {
 	LLCHitRate float64     `json:"llc_hit_rate,omitempty"`
 	Ticks      int         `json:"ticks,omitempty"`
 	Alone      float64     `json:"alone,omitempty"`
+	// Forensics is present only for cells simulated with the RowHammer
+	// forensics ledger enabled (their keys carry a forensics suffix, so
+	// plain and forensics cells never share a store entry).
+	Forensics *ForensicsSummary `json:"forensics,omitempty"`
 }
 
 // experimentEngine is the engine instantiation every sweep runs on.
@@ -48,11 +52,18 @@ func simCellKey(cfg Config, mix workload.SourceMix, warmup, measure int) string 
 	if cov == 0 {
 		cov = defaultSPTCoverage // NewSystem's fallback; keep the key canonical
 	}
-	return fmt.Sprintf(
+	key := fmt.Sprintf(
 		"sim/v2 cores=%d cap=%d ch=%d rk=%d spt=%g seed=%d per=%d prev=%d slack=%d nrh=%d warm=%d meas=%d wl=%s",
 		cfg.Cores, cfg.ChipCapacityGbit, cfg.Channels, cfg.Ranks, cov, cfg.Seed,
 		cfg.Policy.Periodic, cfg.Policy.Preventive, cfg.Policy.SlackTRC, cfg.Policy.NRH,
 		warmup, measure, strings.Join(wl, ","))
+	if cfg.Forensics.Enabled {
+		// Forensics never perturbs the trajectory, but it adds a summary
+		// to the cell payload — suffix only forensics cells so every
+		// existing plain-cell store entry stays warm.
+		key += fmt.Sprintf(" fx=1 fxrec=%t", cfg.Forensics.Recorder)
+	}
+	return key
 }
 
 // simCell builds the cell that simulates one (config, policy, mix)
@@ -73,6 +84,7 @@ func simCell(lab *Engine, cfg Config, mix workload.SourceMix, warmup, measure in
 				Sched:      res.Sched,
 				LLCHitRate: res.LLCHitRate,
 				Ticks:      res.Ticks,
+				Forensics:  res.Forensics,
 			}
 			lab.sim.observe(out)
 			return out, nil
@@ -89,6 +101,12 @@ func simCell(lab *Engine, cfg Config, mix workload.SourceMix, warmup, measure in
 func runSimCell(ctx context.Context, snaps *engine.SnapStore, interval int,
 	cfg Config, mix workload.SourceMix, warmup, measure int) (Result, error) {
 	total := warmup + measure
+	if cfg.Forensics.Enabled {
+		// The forensics ledger is not part of Snapshot/Restore (it would
+		// double the snapshot size for an opt-in observer), so a resumed
+		// run would under-count. Forensics cells always run cold.
+		snaps = nil
+	}
 	ck := checkpointer{snaps: snaps, interval: interval, key: trajectoryKey(cfg, mix)}
 	sys, mark, haveMark := ck.resumeSystem(ctx, cfg, mix, warmup, total)
 	if sys == nil {

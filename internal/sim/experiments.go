@@ -191,6 +191,16 @@ type Options struct {
 	// Stats, when set, accumulates the engine's resolution tallies
 	// (simulated vs cache/store hits) across the sweep.
 	Stats *EngineStats
+
+	// Forensics runs every simulation cell with the RowHammer forensics
+	// ledger enabled and attaches per-policy forensics summaries to the
+	// results. Purely observational (figures are bit-identical), but
+	// forensics cells are keyed separately and never resume from
+	// checkpoints, so warm plain-cell stores do not serve them.
+	Forensics bool
+	// ForensicsRecorder additionally arms the DRAM command flight
+	// recorder (implies nothing without Forensics).
+	ForensicsRecorder bool
 }
 
 // WithDefaults returns o with zero fields replaced by the laptop-scale
@@ -343,6 +353,10 @@ type PolicyScore struct {
 	WS float64 `json:"ws"`
 	// Sched aggregates controller stats across mixes.
 	Sched SchedAggregate `json:"sched"`
+	// Forensics aggregates the RowHammer forensics summaries across
+	// mixes (tallies summed, maxes maxed); nil unless the sweep ran
+	// with Options.Forensics.
+	Forensics *ForensicsSummary `json:"forensics,omitempty"`
 }
 
 // SchedAggregate sums selected controller statistics across runs.
@@ -428,6 +442,7 @@ func runPolicies(ctx context.Context, lab *Engine, base Config, policies []Refre
 		cfg.Cores = opts.Cores
 		cfg.Policy = pol
 		cfg.Seed = opts.Seed
+		cfg.Forensics = ForensicsOptions{Enabled: opts.Forensics, Recorder: opts.Forensics && opts.ForensicsRecorder}
 		for _, mix := range mixes {
 			cells = append(cells, simCell(lab, cfg, mix, opts.Warmup, opts.Measure))
 		}
@@ -449,6 +464,7 @@ func runPolicies(ctx context.Context, lab *Engine, base Config, policies []Refre
 	for pi, pol := range policies {
 		var ws []float64
 		var agg SchedAggregate
+		var fx *ForensicsSummary
 		for mi := range mixes {
 			res := results[next]
 			next++
@@ -463,8 +479,9 @@ func runPolicies(ctx context.Context, lab *Engine, base Config, policies []Refre
 			agg.REFs += res.Sched.REFs
 			agg.SeqBlocked += res.Sched.SeqBlocked
 			agg.CanACTBlocked += res.Sched.CanACTBlocked
+			fx = MergeForensics(fx, res.Forensics)
 		}
-		scores[pi] = PolicyScore{Policy: pol, WS: metrics.Mean(ws), Sched: agg}
+		scores[pi] = PolicyScore{Policy: pol, WS: metrics.Mean(ws), Sched: agg, Forensics: fx}
 	}
 	return scores, nil
 }
@@ -477,6 +494,27 @@ type Fig9Row struct {
 	WS            map[string]float64 `json:"ws"`
 	NormNoRefresh map[string]float64 `json:"norm_no_refresh"`
 	NormBaseline  map[string]float64 `json:"norm_baseline"`
+	// Forensics maps policy name to its aggregated forensics summary;
+	// nil unless the sweep ran with Options.Forensics.
+	Forensics map[string]*ForensicsSummary `json:"forensics,omitempty"`
+}
+
+// forensicsByPolicy collects scores' forensics summaries into a
+// per-policy-name map. It returns nil when no score carries one, so
+// figure rows from non-forensics sweeps stay byte-identical to before
+// forensics existed.
+func forensicsByPolicy(scores []PolicyScore) map[string]*ForensicsSummary {
+	var m map[string]*ForensicsSummary
+	for _, s := range scores {
+		if s.Forensics == nil {
+			continue
+		}
+		if m == nil {
+			m = map[string]*ForensicsSummary{}
+		}
+		m[s.Policy.Name] = s.Forensics
+	}
+	return m
 }
 
 // Fig9Capacities is the x-axis of Fig. 9.
@@ -507,7 +545,8 @@ func (e *Engine) Fig9(ctx context.Context, opts Options, capacities []int) ([]Fi
 			return nil, err
 		}
 		row := Fig9Row{CapacityGbit: cap,
-			WS: map[string]float64{}, NormNoRefresh: map[string]float64{}, NormBaseline: map[string]float64{}}
+			WS: map[string]float64{}, NormNoRefresh: map[string]float64{}, NormBaseline: map[string]float64{},
+			Forensics: forensicsByPolicy(scores)}
 		for _, s := range scores {
 			row.WS[s.Policy.Name] = s.WS
 		}
@@ -530,6 +569,9 @@ type Fig12Row struct {
 	WS           map[string]float64 `json:"ws"`
 	NormBaseline map[string]float64 `json:"norm_baseline"` // Fig. 12a: vs no-defense baseline
 	NormPARA     map[string]float64 `json:"norm_para"`     // Fig. 12b: vs PARA without HiRA
+	// Forensics maps policy name to its aggregated forensics summary;
+	// nil unless the sweep ran with Options.Forensics.
+	Forensics map[string]*ForensicsSummary `json:"forensics,omitempty"`
 }
 
 // Fig12NRHValues is the x-axis of Fig. 12.
@@ -560,7 +602,8 @@ func (e *Engine) Fig12(ctx context.Context, opts Options, nrhs []int) ([]Fig12Ro
 			return nil, err
 		}
 		row := Fig12Row{NRH: nrh,
-			WS: map[string]float64{}, NormBaseline: map[string]float64{}, NormPARA: map[string]float64{}}
+			WS: map[string]float64{}, NormBaseline: map[string]float64{}, NormPARA: map[string]float64{},
+			Forensics: forensicsByPolicy(scores)}
 		for _, s := range scores {
 			row.WS[s.Policy.Name] = s.WS
 		}
@@ -586,6 +629,9 @@ type ScaleRow struct {
 	// for Figs. 15/16).
 	Param int                `json:"param"`
 	WS    map[string]float64 `json:"ws"`
+	// Forensics maps policy name to its aggregated forensics summary;
+	// nil unless the sweep ran with Options.Forensics.
+	Forensics map[string]*ForensicsSummary `json:"forensics,omitempty"`
 }
 
 // scaleSweep runs policies across a channels/ranks sweep on one shared
@@ -607,7 +653,8 @@ func scaleSweep(ctx context.Context, e *Engine, opts Options, xs []int, params [
 			if err != nil {
 				return nil, err
 			}
-			row := ScaleRow{X: x, Param: param, WS: map[string]float64{}}
+			row := ScaleRow{X: x, Param: param, WS: map[string]float64{},
+				Forensics: forensicsByPolicy(scores)}
 			for _, s := range scores {
 				row.WS[s.Policy.Name] = s.WS
 			}

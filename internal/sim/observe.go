@@ -1,6 +1,10 @@
 package sim
 
 import (
+	"fmt"
+	"sync/atomic"
+
+	"hira/internal/sched"
 	"hira/internal/telemetry"
 )
 
@@ -15,6 +19,19 @@ type simMetrics struct {
 	reads, writes, acts, pres, refs *telemetry.Counter
 	piggybacks, pairs, standalone   *telemetry.Counter
 	measuredTicks                   *telemetry.Counter
+
+	// RowHammer forensics families, fed only by cells that ran with the
+	// forensics ledger enabled.
+	fxDemandACTs   *telemetry.Counter
+	fxRefreshACTs  *telemetry.Counter
+	fxRowsReset    *telemetry.Counter
+	fxREFRowsReset *telemetry.Counter
+	fxCrossings    [sched.MaxForensicsThresholds]*telemetry.Counter
+	fxMax          atomic.Uint64 // exported via GaugeFunc
+
+	// Mitigation-efficacy families.
+	mitUseful, mitWasted, mitPeriodic *telemetry.Counter
+	mitPiggyPrev, mitPiggyPeriodic    *telemetry.Counter
 }
 
 // newSimMetrics registers the scheduler aggregates on r (nil r disables
@@ -24,7 +41,7 @@ func newSimMetrics(r *telemetry.Registry) *simMetrics {
 		return nil
 	}
 	c := func(name, help string) *telemetry.Counter { return r.Counter(name, help) }
-	return &simMetrics{
+	m := &simMetrics{
 		reads:  c("hira_sched_reads_total", "DRAM reads across simulated cells' measured phases."),
 		writes: c("hira_sched_writes_total", "DRAM writes across simulated cells' measured phases."),
 		acts:   c("hira_sched_acts_total", "Row activations across simulated cells' measured phases."),
@@ -38,7 +55,34 @@ func newSimMetrics(r *telemetry.Registry) *simMetrics {
 			"Refreshes that could not be hidden and issued standalone."),
 		measuredTicks: c("hira_sim_measured_ticks_total",
 			"Measured-phase memory ticks across simulated cells."),
+		fxDemandACTs: c("hira_rowhammer_demand_acts_total",
+			"Demand row activations advancing the forensics ledger (forensics cells only)."),
+		fxRefreshACTs: c("hira_rowhammer_refresh_acts_total",
+			"Explicit row-refresh activations observed by the forensics ledger."),
+		fxRowsReset: c("hira_rowhammer_rows_reset_total",
+			"Explicit row refreshes that cleared a nonzero interref activation count."),
+		fxREFRowsReset: c("hira_rowhammer_ref_rows_reset_total",
+			"Ledger rows with nonzero interref counts cleared by rank-REF rotation coverage."),
+		mitUseful: c("hira_mitigation_preventive_useful_total",
+			"Preventive refreshes whose victim had a hot adjacent aggressor at refresh time."),
+		mitWasted: c("hira_mitigation_preventive_wasted_total",
+			"Preventive refreshes that landed next to only cold rows."),
+		mitPeriodic: c("hira_mitigation_periodic_row_refreshes_total",
+			"Explicit row refreshes doing periodic (retention) work."),
+		mitPiggyPrev: c("hira_mitigation_piggyback_preventive_total",
+			"Preventive refreshes hidden under demand activations (HiRA piggybacks)."),
+		mitPiggyPeriodic: c("hira_mitigation_piggyback_periodic_total",
+			"Periodic refreshes hidden under demand activations (HiRA piggybacks)."),
 	}
+	for i := range m.fxCrossings {
+		m.fxCrossings[i] = r.Counter("hira_rowhammer_threshold_crossings_total",
+			"Events where a row's interref activation count reached a configured threshold, by ascending threshold rank.",
+			telemetry.Label{Key: "threshold", Value: fmt.Sprintf("%d", i+1)})
+	}
+	r.GaugeFunc("hira_rowhammer_max_interref_acts",
+		"Largest interref activation count any row reached across forensics cells.",
+		func() float64 { return float64(m.fxMax.Load()) })
+	return m
 }
 
 // observe folds one simulated cell's measured-phase counters in. Cells
@@ -58,4 +102,26 @@ func (m *simMetrics) observe(res CellResult) {
 	m.pairs.Add(s.HiRAPairs)
 	m.standalone.Add(s.StandaloneRefreshes)
 	m.measuredTicks.Add(uint64(res.Ticks))
+	if f := res.Forensics; f != nil {
+		t := f.Tally
+		m.fxDemandACTs.Add(t.DemandACTs)
+		m.fxRefreshACTs.Add(t.RefreshACTs)
+		m.fxRowsReset.Add(t.RowsReset)
+		m.fxREFRowsReset.Add(t.REFRowsReset)
+		for i, c := range m.fxCrossings {
+			c.Add(t.Crossings[i])
+		}
+		m.mitUseful.Add(t.PreventiveUseful)
+		m.mitWasted.Add(t.PreventiveWasted)
+		m.mitPeriodic.Add(t.PeriodicRowRefreshes)
+		m.mitPiggyPrev.Add(t.PiggybackPreventive)
+		m.mitPiggyPeriodic.Add(t.PiggybackPeriodic)
+		for {
+			cur := m.fxMax.Load()
+			if uint64(f.MaxInterrefACTs) <= cur ||
+				m.fxMax.CompareAndSwap(cur, uint64(f.MaxInterrefACTs)) {
+				break
+			}
+		}
+	}
 }

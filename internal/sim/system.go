@@ -107,6 +107,9 @@ type Config struct {
 	// SPTCoverage is the pairable-subarray fraction (§7: 0.32).
 	SPTCoverage float64
 	Seed        uint64
+	// Forensics opts into the RowHammer forensics ledger (observational
+	// only; the simulated trajectory is bit-identical either way).
+	Forensics ForensicsOptions
 }
 
 // DefaultConfig returns Table 3's system.
@@ -129,6 +132,9 @@ type Result struct {
 	Sched           sched.Stats
 	LLCHitRate      float64
 	Ticks           int
+	// Forensics carries the RowHammer forensics summary when
+	// Config.Forensics enabled the ledger; nil otherwise.
+	Forensics *ForensicsSummary
 }
 
 // wbRing buffers writebacks that found the write queue full, FIFO. It is
@@ -261,6 +267,14 @@ func NewSystem(cfg Config, mix workload.SourceMix) (*System, error) {
 	ctrl, err := sched.NewController(sched.Config{Org: org, Timing: timing}, engine)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Forensics.Enabled {
+		thresholds, hot := forensicsThresholds(cfg.Policy.NRH)
+		ctrl.EnableForensics(sched.ForensicsConfig{
+			Thresholds:   thresholds,
+			HotThreshold: hot,
+			Recorder:     cfg.Forensics.Recorder,
+		})
 	}
 
 	s := &System{
@@ -476,13 +490,15 @@ func (s *System) RunTo(ctx context.Context, target int) error {
 // resets is what lets a snapshot taken at any tick serve runs with any
 // warmup/measure split.
 type runMark struct {
-	sched   sched.Stats
-	retired []uint64
+	sched     sched.Stats
+	forensics sched.ForensicsTally
+	retired   []uint64
 }
 
 // mark records the counters at the current tick.
 func (s *System) mark() runMark {
-	m := runMark{sched: s.ctrl.Stats, retired: make([]uint64, len(s.cores))}
+	m := runMark{sched: s.ctrl.Stats, forensics: s.ctrl.ForensicsTallyNow(),
+		retired: make([]uint64, len(s.cores))}
 	for i, c := range s.cores {
 		m.retired[i] = c.Retired
 	}
@@ -503,6 +519,16 @@ func (s *System) resultSince(m runMark, measure int) Result {
 	cycles := float64(measure) * cpuCyclesPerTick
 	for i, c := range s.cores {
 		res.IPC = append(res.IPC, float64(c.Retired-m.retired[i])/cycles)
+	}
+	if rep, ok := s.ctrl.ForensicsReport(); ok {
+		res.Forensics = &ForensicsSummary{
+			Thresholds:      rep.Thresholds,
+			HotThreshold:    rep.HotThreshold,
+			MaxInterrefACTs: rep.MaxInterrefACTs,
+			Tally:           rep.Tally.Sub(m.forensics),
+			Events:          rep.Events,
+			DroppedEvents:   rep.DroppedEvents,
+		}
 	}
 	return res
 }
