@@ -31,7 +31,8 @@ import (
 
 var (
 	server            = flag.String("server", "http://localhost:8080", "hira-server base URL")
-	exp               = flag.String("exp", "fig9", "job kind: fig9|fig12|fig13|fig14|fig15|fig16|characterize|security|area")
+	exp               = flag.String("exp", "fig9", "job kind: fig9|fig12|fig13|fig14|fig15|fig16|attack|characterize|security|area")
+	attacks           = flag.String("attacks", "", "comma-separated attacker presets for -exp attack (single,double,many,refsync,decoy; empty = all)")
 	workloads         = flag.Int("workloads", 0, "mixes per sweep point (0 = server default)")
 	cores             = flag.Int("cores", 0, "cores per mix (0 = server default)")
 	ticks             = flag.Int("ticks", 0, "measured ticks per run (0 = server default)")
@@ -150,6 +151,9 @@ func run() int {
 	if spec.Xs, err = parseInts(*xs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if *attacks != "" {
+		spec.Attacks = strings.Split(*attacks, ",")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 
 	"hira"
@@ -37,7 +38,9 @@ import (
 )
 
 var (
-	exp        = flag.String("exp", "fig9", "experiment: fig9|fig12|fig13|fig14|fig15|fig16")
+	exp        = flag.String("exp", "fig9", "experiment: fig9|fig12|fig13|fig14|fig15|fig16|attack")
+	attacks    = flag.String("attacks", "", "comma-separated attacker presets for -exp attack (single,double,many,refsync,decoy; empty = all)")
+	nrhs       = flag.String("nrhs", "", "comma-separated RowHammer thresholds for -exp attack (empty = builtin grid)")
 	workloads  = flag.Int("workloads", 4, "number of multiprogrammed mixes")
 	cores      = flag.Int("cores", 8, "cores per mix")
 	ticks      = flag.Int("ticks", 120000, "measured memory-controller ticks per run")
@@ -291,6 +294,87 @@ func scale(rows []hira.ScaleRow, xName, pName string, err error) error {
 	return nil
 }
 
+// attackList parses -attacks; nil means every builtin preset.
+func attackList() []string {
+	if *attacks == "" {
+		return nil
+	}
+	return strings.Split(*attacks, ",")
+}
+
+// attackNRHs parses -nrhs; nil means the builtin grid
+// (hira.AttackNRHValues).
+func attackNRHs() ([]int, error) {
+	if *nrhs == "" {
+		return nil, nil
+	}
+	parts := strings.Split(*nrhs, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -nrhs value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func attackExp(ctx context.Context) error {
+	grid, err := attackNRHs()
+	if err != nil {
+		return err
+	}
+	rows, err := hira.AttackSweep(ctx, opts(), attackList(), grid)
+	if err != nil {
+		return err
+	}
+	hdr := names(rows[0].WS)
+	fmt.Println("== Attack x mitigation: weighted speedup normalized to Baseline (no defense) ==")
+	fmt.Printf("%-9s %-6s", "attack", "NRH")
+	for _, n := range hdr {
+		fmt.Printf("%11s", n)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-9s %6d", r.Attack, r.NRH)
+		for _, n := range hdr {
+			fmt.Printf("%11.3f", r.NormBaseline[n])
+		}
+		fmt.Println()
+	}
+	// The sweep's deliverable: per-point efficacy. A policy defends the
+	// point when no victim's exposure reaches NRH.
+	fmt.Println("\n== Mitigation efficacy: max victim exposure (! = reached NRH, attack succeeded) ==")
+	fmt.Printf("%-9s %-6s", "attack", "NRH")
+	for _, n := range hdr {
+		fmt.Printf("%11s", n)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-9s %6d", r.Attack, r.NRH)
+		for _, n := range hdr {
+			fx := r.Forensics[n]
+			if fx == nil {
+				fmt.Printf("%11s", "-")
+				continue
+			}
+			mark := " "
+			if fx.MaxVictimExposure >= uint32(r.NRH) {
+				mark = "!"
+			}
+			fmt.Printf("%10d%s", fx.MaxVictimExposure, mark)
+		}
+		fmt.Println()
+	}
+	forensicsSection(func() {
+		for _, r := range rows {
+			forensicsBlock(fmt.Sprintf("%-9s %6d", r.Attack, r.NRH), r.Forensics)
+		}
+	})
+	return nil
+}
+
 func main() {
 	flag.Parse()
 	// run does the work so deferred profile flushes survive error exits
@@ -299,6 +383,10 @@ func main() {
 }
 
 func run() int {
+	if *exp != "attack" && (*attacks != "" || *nrhs != "") {
+		fmt.Fprintln(os.Stderr, "-attacks and -nrhs only apply to -exp attack")
+		return 2
+	}
 	if *record != "" {
 		if err := recordTrace(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -349,7 +437,25 @@ func run() int {
 	defer stop()
 
 	if *jsonOut {
-		res, err := hira.Figure(ctx, *exp, opts(), nil, nil)
+		var res *hira.FigureResult
+		var err error
+		if *exp == "attack" && (*attacks != "" || *nrhs != "") {
+			// The Figure dispatcher runs every preset over the builtin
+			// grid; an explicit -attacks/-nrhs list needs the direct call.
+			var rows []hira.AttackRow
+			var grid []int
+			if grid, err = attackNRHs(); err == nil {
+				rows, err = hira.AttackSweep(ctx, opts(), attackList(), grid)
+			}
+			if err == nil {
+				res = &hira.FigureResult{Kind: "attack", Attack: rows}
+				if st := opts().Stats; st != nil {
+					res.Stats = *st
+				}
+			}
+		} else {
+			res, err = hira.Figure(ctx, *exp, opts(), nil, nil)
+		}
 		endProgressLine()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -385,6 +491,8 @@ func run() int {
 		fmt.Println("== Fig. 16: rank sweep, PARA (absolute WS) ==")
 		rows, e := hira.Fig16(ctx, opts(), nil, nil)
 		err = scale(rows, "ranks", "NRH", e)
+	case "attack":
+		err = attackExp(ctx)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		return 2

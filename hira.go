@@ -172,6 +172,13 @@ type (
 	Fig12Row = sim.Fig12Row
 	// ScaleRow is one point of the §10 channel/rank sweeps.
 	ScaleRow = sim.ScaleRow
+	// AttackRow is one (attack, NRH) point of the attack×mitigation
+	// sweep: weighted speedups plus per-policy efficacy forensics.
+	AttackRow = sim.AttackRow
+	// AttackSpec parameterizes a mapping-aware hammering workload.
+	AttackSpec = workload.AttackSpec
+	// Attack is the attacker workload source an AttackSpec builds.
+	Attack = workload.Attack
 	// ForensicsSummary is the per-policy RowHammer forensics report a
 	// sweep row carries when SimOptions.Forensics is set: the activation
 	// ledger's tallies, threshold-crossing counts, and (with
@@ -191,8 +198,16 @@ var (
 	PARAPolicy = sim.PARAPolicy
 	// PARAHiRAPolicy is PARA with HiRA-N parallelization.
 	PARAHiRAPolicy = sim.PARAHiRAPolicy
+	// GraphenePolicy is the Graphene-style counter-table tracker.
+	GraphenePolicy = sim.GraphenePolicy
+	// RFMPolicy is DDR5 refresh-management-style activation pacing.
+	RFMPolicy = sim.RFMPolicy
 	// DefaultSystemConfig is Table 3's system.
 	DefaultSystemConfig = sim.DefaultConfig
+	// NewAttackWorkload builds a mapping-aware hammering Workload.
+	NewAttackWorkload = workload.NewAttack
+	// AttackKinds lists the attack sweep's builtin attacker presets.
+	AttackKinds = sim.AttackKinds
 )
 
 // Experiment runners. Each takes a context for cancellation and runs on
@@ -201,8 +216,9 @@ var (
 var (
 	// NewSimEngine builds a shared experiment engine.
 	NewSimEngine = sim.NewEngine
-	// Figure dispatches one named figure sweep ("fig9" ... "fig16") and
-	// wraps the rows in the serializable FigureResult envelope.
+	// Figure dispatches one named figure sweep ("fig9" ... "fig16", or
+	// "attack" for the attack×mitigation grid) and wraps the rows in the
+	// serializable FigureResult envelope.
 	Figure = sim.Figure
 	// RunPolicies evaluates refresh policies on shared workload mixes.
 	RunPolicies = sim.RunPolicies
@@ -218,6 +234,10 @@ var (
 	Fig15 = sim.Fig15
 	// Fig16 sweeps ranks under PARA (§10.2).
 	Fig16 = sim.Fig16
+	// AttackSweep runs the attack×mitigation×NRH grid: each attacker
+	// preset against the mitigation zoo, with per-point efficacy
+	// forensics always attached.
+	AttackSweep = sim.AttackSweep
 )
 
 // Workload re-exports: sweeps accept any workload source per core —

@@ -159,7 +159,40 @@ type HiRAMC struct {
 
 	// Stats.
 	Generated, GeneratedPreventive uint64
-	Dropped                        uint64 // PR-FIFO overflow (forced immediate)
+	// Expedited counts structure-full overflows: each one pulled the
+	// bank's oldest queued entry's deadline to now to drain it early.
+	// Nothing is ever dropped.
+	Expedited uint64
+}
+
+// expediteOldest pulls the deadline of b's oldest queued entry to now,
+// preferring the oldest preventive entry (the PR-FIFO occupant the full
+// structure most needs to shed); with no preventive queued it expedites
+// the bank's front entry instead. A bank with an empty queue (the rank
+// cap tripped on siblings) has nothing local to expedite.
+func (m *HiRAMC) expediteOldest(b *bankRC, now dram.Time) {
+	idx := -1
+	for i := range b.queue {
+		if b.queue[i].preventive {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		if len(b.queue) == 0 {
+			return
+		}
+		idx = 0
+	}
+	if b.queue[idx].deadline > now {
+		b.queue[idx].deadline = now
+		if now < b.minDeadline {
+			b.minDeadline = now
+		}
+		if now < m.chNext[b.ch] {
+			m.chNext[b.ch] = now
+		}
+	}
 }
 
 var _ sched.RefreshEngine = (*HiRAMC)(nil)
@@ -288,10 +321,14 @@ func (m *HiRAMC) NoteActivate(loc dram.Location, demand bool, now dram.Time) {
 	e := refEntry{deadline: deadline, preventive: true, row: victim}
 	if b.prDepth >= PRFIFOCap || m.rankLoad(loc.Channel, loc.Rank) >= RefreshTableCap {
 		// Structure full: force the oldest entry out immediately by
-		// pulling its deadline to now (never drop a preventive refresh —
-		// that would break the security guarantee).
-		m.Dropped++
-		e.deadline = now
+		// pulling its deadline to now, so the next Mandatory scan arms
+		// and drains it. The new entry keeps its own deadline and is
+		// admitted regardless (never drop a preventive refresh — that
+		// would break the security guarantee), so occupancy can overshoot
+		// the cap by the handful of entries that arrive while the
+		// expedited one drains (bounded by the lead window, ~tRC).
+		m.Expedited++
+		m.expediteOldest(b, now)
 	}
 	b.prDepth++
 	m.pushEntry(b, e)

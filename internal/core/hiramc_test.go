@@ -289,6 +289,63 @@ func TestPreventiveNeverDropped(t *testing.T) {
 	}
 }
 
+// TestPreventiveOverflowExpeditesOldest pins the structure-full
+// semantics of NoteActivate: once the per-bank PR-FIFO holds PRFIFOCap
+// entries, the next sampled activation (a) counts an Expedited overflow,
+// (b) pulls the OLDEST queued preventive entry's deadline to now —
+// not the new entry's — and (c) still admits the new entry at its own
+// deadline (nothing is dropped; the cap overshoots transiently).
+func TestPreventiveOverflowExpeditesOldest(t *testing.T) {
+	org := smallOrg()
+	tm := shortTiming()
+	spt := NewSyntheticSPT(org.SubarraysPerBank, 0.32, 7)
+	slack := 4 * tm.TRC
+	m, err := New(Config{
+		Org: org, Timing: tm,
+		Preventive: PreventiveHiRA, Pth: 1, RefSlack: slack, SPT: spt, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := dram.Location{Row: 50, Col: 0}
+	b := m.bank(0, 0, 0)
+	// Pth = 1 samples every activation, so each call queues one entry.
+	// Space the calls in time so deadlines are strictly increasing and
+	// the oldest entry is unambiguous.
+	for i := 0; i < PRFIFOCap; i++ {
+		m.NoteActivate(loc, true, dram.Time(i)*tm.TCK)
+	}
+	if m.Expedited != 0 || b.prDepth != PRFIFOCap {
+		t.Fatalf("after %d activations: expedited=%d prDepth=%d", PRFIFOCap, m.Expedited, b.prDepth)
+	}
+	firstDeadline := b.queue[0].deadline
+	if firstDeadline != slack {
+		t.Fatalf("oldest deadline %v, want %v", firstDeadline, slack)
+	}
+	now := dram.Time(PRFIFOCap) * tm.TCK
+	m.NoteActivate(loc, true, now)
+	if m.Expedited != 1 {
+		t.Fatalf("expedited = %d, want 1", m.Expedited)
+	}
+	if got := b.queue[0].deadline; got != now {
+		t.Errorf("oldest entry's deadline %v, want expedited to now %v", got, now)
+	}
+	if got := b.queue[len(b.queue)-1].deadline; got != now+slack {
+		t.Errorf("new entry's deadline %v, want its own %v", got, now+slack)
+	}
+	if len(b.queue) != PRFIFOCap+1 || b.prDepth != PRFIFOCap+1 {
+		t.Errorf("queue=%d prDepth=%d, want transient overshoot to %d", len(b.queue), b.prDepth, PRFIFOCap+1)
+	}
+	if b.minDeadline != now {
+		t.Errorf("minDeadline %v not pulled to now %v", b.minDeadline, now)
+	}
+	// The expedited entry arms on the next Mandatory scan and drains.
+	ops := m.Mandatory(0, now)
+	if len(ops) == 0 {
+		t.Fatal("expedited entry did not become mandatory")
+	}
+}
+
 func TestPeriodicREFModeDelegates(t *testing.T) {
 	org := smallOrg()
 	tm := shortTiming()

@@ -16,7 +16,7 @@ func (m *HiRAMC) Snapshot(w *snap.Writer) {
 	w.Int(m.genPtr)
 	w.U64(m.Generated)
 	w.U64(m.GeneratedPreventive)
-	w.U64(m.Dropped)
+	w.U64(m.Expedited)
 	for _, b := range m.banks {
 		w.Len(len(b.queue))
 		for _, e := range b.queue {
@@ -79,7 +79,7 @@ func (m *HiRAMC) Restore(r *snap.Reader, now dram.Time) error {
 	}
 	m.Generated = r.U64()
 	m.GeneratedPreventive = r.U64()
-	m.Dropped = r.U64()
+	m.Expedited = r.U64()
 	for i := range m.chNext {
 		m.chNext[i] = dram.MaxTime()
 		m.chArmed[i] = 0

@@ -55,6 +55,16 @@ type Core struct {
 	outstanding []outstandingLoad
 	outHead     int
 
+	// earlyDone records a load completed synchronously inside
+	// Memory.Issue — e.g. a cache hit resolved before Issue returns —
+	// which arrives before Tick has entered the load into the window.
+	// Without it the completion is silently lost, the stale window entry
+	// never retires, and the core deadlocks once the window fills behind
+	// it. Transient: set during the Issue call, consumed immediately
+	// after in the same Tick iteration, zero between ticks (so it never
+	// enters snapshots).
+	earlyDone uint64
+
 	// Retired counts completed instructions (the IPC numerator).
 	Retired uint64
 
@@ -74,13 +84,21 @@ func New(id int, gen workload.Stream, mem Memory) *Core {
 	return &Core{ID: id, Width: 4, Window: 128, gen: gen, mem: mem}
 }
 
-// Complete signals that the load identified by token has its data.
+// Complete signals that the load identified by token has its data. A
+// completion may arrive synchronously, from inside the Memory.Issue
+// call that submitted the load: at that point the load is not yet in
+// the window, so it is recorded in earlyDone for Tick to consume.
 func (c *Core) Complete(token uint64) {
+	found := false
 	for i := c.outHead; i < len(c.outstanding); i++ {
 		if c.outstanding[i].token == token {
 			c.outstanding[i].done = true
+			found = true
 			break
 		}
+	}
+	if !found && token == c.token {
+		c.earlyDone = token
 	}
 	// Retire completed loads from the head.
 	for c.outHead < len(c.outstanding) && c.outstanding[c.outHead].done {
@@ -150,8 +168,13 @@ func (c *Core) Tick(budget float64) {
 			// Stores retire through the write buffer immediately.
 		} else {
 			c.LoadsIssued++
-			c.outstanding = append(c.outstanding, outstandingLoad{pos: c.issued, token: c.token})
+			if c.earlyDone != c.token {
+				c.outstanding = append(c.outstanding, outstandingLoad{pos: c.issued, token: c.token})
+			}
+			// else: the load completed inside Issue (zero-latency hit);
+			// it retires immediately and never pins the window head.
 		}
+		c.earlyDone = 0
 		c.issued++
 		slots--
 		c.pending = nil

@@ -169,6 +169,68 @@ func TestCoreMLPOverlapsIndependentMisses(t *testing.T) {
 	}
 }
 
+// syncMemory completes some loads synchronously, from inside Issue —
+// the shape of an LLC hit in the full-system model, where the hit is
+// resolved before Issue returns and the completion therefore arrives
+// before the core has entered the load into its window.
+type syncMemory struct {
+	c        *Core
+	every    int // complete every Nth load synchronously; others async
+	n        int
+	inflight []fakeReq
+}
+
+func (m *syncMemory) Issue(req MemRequest) bool {
+	if req.Write {
+		return true
+	}
+	m.n++
+	if m.n%m.every == 0 {
+		m.c.Complete(req.Token)
+		return true
+	}
+	m.inflight = append(m.inflight, fakeReq{token: req.Token, left: 20})
+	return true
+}
+
+func (m *syncMemory) step() {
+	kept := m.inflight[:0]
+	for _, r := range m.inflight {
+		r.left--
+		if r.left <= 0 {
+			m.c.Complete(r.token)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	m.inflight = kept
+}
+
+// TestCoreSynchronousCompletion is the regression test for a deadlock
+// the adversarial hammering workloads flushed out: a load completed
+// inside Memory.Issue (an LLC hit) arrived before Tick appended the
+// window entry, the completion was dropped, and the stale entry pinned
+// the window head until the core wedged permanently. Small-footprint
+// attack loops re-touch lines whose miss is still in flight, so they
+// hit this deterministically; wide benign streams almost never did.
+func TestCoreSynchronousCompletion(t *testing.T) {
+	for _, every := range []int{1, 3} {
+		mem := &syncMemory{every: every}
+		c := New(0, gen("mcf", 1), mem)
+		mem.c = c
+		for i := 0; i < 5000; i++ {
+			c.Tick(4)
+			mem.step()
+		}
+		if c.Blocked() && len(mem.inflight) == 0 {
+			t.Errorf("every=%d: core wedged with no loads in flight (lost a synchronous completion)", every)
+		}
+		if c.Retired < 1000 {
+			t.Errorf("every=%d: retired only %d instructions in 5000 ticks", every, c.Retired)
+		}
+	}
+}
+
 type serialMemory struct {
 	latency int
 	busy    bool

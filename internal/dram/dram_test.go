@@ -194,6 +194,41 @@ func TestMOPMapperRoundTripProperties(t *testing.T) {
 	}
 }
 
+// TestMOPMapperAddrInvertsMap: Addr is Map's exact inverse over every
+// in-capacity block address, across asymmetric organizations (distinct
+// channel/rank counts shake out transposed mixed-radix digits).
+func TestMOPMapperAddrInvertsMap(t *testing.T) {
+	for _, shape := range []struct{ ch, rk int }{{1, 1}, {2, 1}, {1, 2}, {2, 4}, {4, 2}} {
+		o := DefaultOrg()
+		o.Channels, o.RanksPerChannel = shape.ch, shape.rk
+		m := NewMOPMapper(o)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		cap := uint64(o.CapacityBytes())
+		f := func(raw uint32, off uint8) bool {
+			addr := (uint64(raw)*64 + uint64(off)) % cap
+			loc := m.Map(addr)
+			return m.Addr(loc) == addr&^63
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("org %dch/%drk: %v", shape.ch, shape.rk, err)
+		}
+		// And the forward direction: Addr must decode back to the
+		// location it was built from, for every field at its extremes.
+		for _, loc := range []Location{
+			{},
+			{BankID: BankID{Channel: o.Channels - 1, Rank: o.RanksPerChannel - 1, Bank: o.BanksPerRank() - 1},
+				Row: o.RowsPerBank() - 1, Col: o.RowBytes/64 - 1},
+			{BankID: BankID{Bank: 5}, Row: 12345, Col: 17},
+		} {
+			if got := m.Map(m.Addr(loc)); got != loc {
+				t.Errorf("org %dch/%drk: Map(Addr(%v)) = %v", shape.ch, shape.rk, loc, got)
+			}
+		}
+	}
+}
+
 func TestMOPMapperSpreadsBlocksAcrossChannels(t *testing.T) {
 	o := DefaultOrg()
 	o.Channels = 4

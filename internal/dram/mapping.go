@@ -67,6 +67,32 @@ func (m *MOPMapper) Map(addr uint64) Location {
 	}
 }
 
+// Addr inverts Map: it returns the smallest physical byte address that
+// decodes to loc (the block-aligned address of loc's cache block).
+// Out-of-range fields are reduced modulo their dimension, mirroring
+// Map's modular decode, so Addr(Map(a)) == a&^(blockBytes-1) for every
+// in-capacity address. Adversarial workloads use it to aim accesses at
+// specific rows.
+func (m *MOPMapper) Addr(loc Location) uint64 {
+	o := m.org
+	blocksPerRow := uint64(o.RowBytes / m.blockBytes)
+	groupsPerRow := blocksPerRow / uint64(m.groupBlocks)
+
+	groupOff := uint64(loc.Col%m.groupBlocks) % uint64(m.groupBlocks)
+	colGroup := uint64(loc.Col/m.groupBlocks) % groupsPerRow
+	bg := uint64(loc.Bank/o.BanksPerGroup) % uint64(o.BankGroups)
+	bank := uint64(loc.Bank%o.BanksPerGroup) % uint64(o.BanksPerGroup)
+
+	a := uint64(loc.Row) % uint64(o.RowsPerBank())
+	a = a*groupsPerRow + colGroup
+	a = a*uint64(o.RanksPerChannel) + uint64(loc.Rank)%uint64(o.RanksPerChannel)
+	a = a*uint64(o.BanksPerGroup) + bank
+	a = a*uint64(o.BankGroups) + bg
+	a = a*uint64(o.Channels) + uint64(loc.Channel)%uint64(o.Channels)
+	a = a*uint64(m.groupBlocks) + groupOff
+	return a * uint64(m.blockBytes)
+}
+
 // RowStride returns the smallest address increment that changes only the
 // row, keeping channel/rank/bank fixed. Useful for constructing adversarial
 // (row-conflict) access patterns in tests and workloads.

@@ -111,3 +111,28 @@ func BenchmarkControllerSteadyStateReference(b *testing.B) {
 		return sched.NewBaselineREF(org, tm)
 	})
 }
+
+// BenchmarkControllerSteadyStateGraphene runs the counter-table zoo
+// engine in the same loop; the Misra-Gries update on every demand ACT and
+// the fixed victim rings must keep the steady state allocation-free.
+func BenchmarkControllerSteadyStateGraphene(b *testing.B) {
+	benchSteadyState(b, false, func(org dram.Org, tm dram.Timing) sched.RefreshEngine {
+		g, err := core.NewGraphene(core.GrapheneConfig{Org: org, Timing: tm, NRH: 1024, Counters: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	})
+}
+
+// BenchmarkControllerSteadyStateRFM is the same loop with the RFM-style
+// activation-budget engine.
+func BenchmarkControllerSteadyStateRFM(b *testing.B) {
+	benchSteadyState(b, false, func(org dram.Org, tm dram.Timing) sched.RefreshEngine {
+		f, err := core.NewRFM(core.RFMConfig{Org: org, Timing: tm, RAAIMT: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	})
+}

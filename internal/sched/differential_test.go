@@ -71,6 +71,20 @@ func diffPolicies() []diffPolicy {
 			Periodic: core.PeriodicREF, Preventive: core.PreventiveImmediate, Pth: 0.3, Seed: 11})},
 		{"PARA+HiRA-4", mkCore(core.Config{
 			Periodic: core.PeriodicREF, Preventive: core.PreventiveHiRA, Pth: 0.3, Seed: 11})},
+		{"Graphene", func(t *testing.T, org dram.Org, tm dram.Timing) sched.RefreshEngine {
+			g, err := core.NewGraphene(core.GrapheneConfig{Org: org, Timing: tm, NRH: 64, Counters: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{"RFM", func(t *testing.T, org dram.Org, tm dram.Timing) sched.RefreshEngine {
+			f, err := core.NewRFM(core.RFMConfig{Org: org, Timing: tm, RAAIMT: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		}},
 	}
 }
 
@@ -263,6 +277,17 @@ func TestControllerDifferentialWorkloads(t *testing.T) {
 		t.Fatal(err)
 	}
 	streamy := workload.Profile{Name: "streamy", MPKI: 30, RowLocality: 0.9, FootprintMB: 16, WriteFrac: 0.2}
+	org := diffOrg()
+	// A many-sided hammering source: row-conflict-dense, read-only, with a
+	// duty cycle and decoy rows — the access pattern most likely to expose
+	// a divergence in the event-driven scheduler's ACT bookkeeping.
+	attack, err := workload.NewAttack(workload.AttackSpec{
+		Kind: workload.AttackMany, VictimRow: 64, Aggressors: 5,
+		BurstAccesses: 32, IdleGap: 400, Decoys: 1,
+	}, org)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sources := []struct {
 		name string
 		src  workload.Source
@@ -270,9 +295,9 @@ func TestControllerDifferentialWorkloads(t *testing.T) {
 		{"custom-profile", custom},
 		{"custom-streamy", streamy},
 		{"trace", trace},
+		{"attack-many", attack},
 	}
 
-	org := diffOrg()
 	tm := diffTiming()
 	ticks := 60000
 	if testing.Short() {

@@ -64,6 +64,14 @@ type ForensicsTally struct {
 	// Thresholds[i]. Counts reset on refresh, so a row can cross again in
 	// a later episode.
 	Crossings [MaxForensicsThresholds]uint64 `json:"crossings"`
+	// VictimCrossings[i] counts events where a row's victim exposure —
+	// demand activations of adjacent rows since the row's own charge was
+	// last restored — reached Thresholds[i]. Unlike Crossings (which only
+	// the aggressor's own refresh resets), victim exposure resets whenever
+	// the victim itself is activated or refreshed, so it directly scores
+	// victim-refreshing mitigations (Graphene, RFM): an effective one keeps
+	// every row's exposure below NRH.
+	VictimCrossings [MaxForensicsThresholds]uint64 `json:"victim_crossings"`
 	// PreventiveUseful counts preventive (PARA) refreshes whose victim had
 	// an adjacent row with interref count >= HotThreshold at refresh time;
 	// PreventiveWasted counts the ones that landed next to only cold rows.
@@ -87,6 +95,7 @@ func (t ForensicsTally) Sub(o ForensicsTally) ForensicsTally {
 	t.REFRowsReset -= o.REFRowsReset
 	for i := range t.Crossings {
 		t.Crossings[i] -= o.Crossings[i]
+		t.VictimCrossings[i] -= o.VictimCrossings[i]
 	}
 	t.PreventiveUseful -= o.PreventiveUseful
 	t.PreventiveWasted -= o.PreventiveWasted
@@ -104,6 +113,7 @@ func (t ForensicsTally) Add(o ForensicsTally) ForensicsTally {
 	t.REFRowsReset += o.REFRowsReset
 	for i := range t.Crossings {
 		t.Crossings[i] += o.Crossings[i]
+		t.VictimCrossings[i] += o.VictimCrossings[i]
 	}
 	t.PreventiveUseful += o.PreventiveUseful
 	t.PreventiveWasted += o.PreventiveWasted
@@ -133,6 +143,11 @@ type ForensicsReport struct {
 	// reached since forensics were enabled (running max, not reset by the
 	// measured-phase mark).
 	MaxInterrefACTs uint32 `json:"max_interref_acts"`
+	// MaxVictimExposure is the largest victim exposure any row reached:
+	// demand activations of its adjacent rows since the row's own charge
+	// was last restored. A row crossing NRH here is a disturbance-error
+	// candidate regardless of which rows did the hammering.
+	MaxVictimExposure uint32 `json:"max_victim_exposure"`
 	// BankMax is the running max per bank, flat across the system:
 	// channel*banksPerChannel + rank*banksPerRank + bank.
 	BankMax []uint32       `json:"bank_max,omitempty"`
@@ -164,6 +179,13 @@ type Forensics struct {
 	count   []uint32 // per (system-flat bank, row): interref demand ACTs
 	bankMax []uint32 // per system-flat bank: running max interref count
 	refPtr  []int32  // per system-flat bank: rank-REF rotation pointer
+
+	// exposure tracks the victim side of every activation: exposure[i]
+	// counts demand ACTs of row i's adjacent rows since row i's own charge
+	// was last restored (by its own activation, an explicit refresh, or
+	// rank-REF coverage). maxExposure is its running system-wide max.
+	exposure    []uint32
+	maxExposure uint32
 
 	tally ForensicsTally
 
@@ -201,6 +223,7 @@ func newForensics(org dram.Org, t dram.Timing, cfg ForensicsConfig) *Forensics {
 	}
 	banks := org.TotalBanks()
 	f.count = make([]uint32, banks*f.rowsPerBank)
+	f.exposure = make([]uint32, banks*f.rowsPerBank)
 	f.bankMax = make([]uint32, banks)
 	f.refPtr = make([]int32, banks)
 	if cfg.Recorder {
@@ -243,11 +266,12 @@ func (c *Controller) ForensicsReport() (ForensicsReport, bool) {
 		return ForensicsReport{}, false
 	}
 	r := ForensicsReport{
-		Thresholds:    append([]uint32(nil), f.thresholds[:f.nThresh]...),
-		HotThreshold:  f.hot,
-		BankMax:       append([]uint32(nil), f.bankMax...),
-		Tally:         f.tally,
-		DroppedEvents: f.dropped,
+		Thresholds:        append([]uint32(nil), f.thresholds[:f.nThresh]...),
+		HotThreshold:      f.hot,
+		MaxVictimExposure: f.maxExposure,
+		BankMax:           append([]uint32(nil), f.bankMax...),
+		Tally:             f.tally,
+		DroppedEvents:     f.dropped,
 	}
 	for _, m := range f.bankMax {
 		if m > r.MaxInterrefACTs {
@@ -297,6 +321,31 @@ func (f *Forensics) demandACT(ch, flat, row int) {
 			}
 		}
 	}
+	// Victim side: the activation restores the activated row's own charge
+	// and disturbs its neighbors.
+	f.exposure[i] = 0
+	base := fb * f.rowsPerBank
+	if row > 0 {
+		f.bumpExposure(base + row - 1)
+	}
+	if row+1 < f.rowsPerBank {
+		f.bumpExposure(base + row + 1)
+	}
+}
+
+// bumpExposure advances one row's victim exposure, maintaining the
+// running max and the victim-side threshold-crossing tallies.
+func (f *Forensics) bumpExposure(i int) {
+	e := f.exposure[i] + 1
+	f.exposure[i] = e
+	if e > f.maxExposure {
+		f.maxExposure = e
+	}
+	for t := 0; t < f.nThresh; t++ {
+		if e == f.thresholds[t] {
+			f.tally.VictimCrossings[t]++
+		}
+	}
 }
 
 // refreshACT records an explicit row-refresh activation, clearing the
@@ -308,6 +357,7 @@ func (f *Forensics) refreshACT(ch, flat, row int) {
 		f.count[i] = 0
 		f.tally.RowsReset++
 	}
+	f.exposure[i] = 0
 }
 
 // classifyRefresh attributes one explicit row refresh at the moment it is
@@ -359,6 +409,7 @@ func (f *Forensics) rankREF(ch, rank int) {
 				f.count[cbase+ptr] = 0
 				f.tally.REFRowsReset++
 			}
+			f.exposure[cbase+ptr] = 0
 			ptr++
 			if ptr == f.rowsPerBank {
 				ptr = 0

@@ -345,3 +345,63 @@ func BenchmarkControllerSteadyStateForensicsRecorder(b *testing.B) {
 		s.tick()
 	}
 }
+
+// TestForensicsMitigationEfficacy is the ledger-level proof behind the
+// mitigation zoo: a double-sided hammer with no refresh engine drives the
+// victim's exposure past the RowHammer threshold (a VictimCrossings entry
+// at NRH), while the same hammer under a well-provisioned Graphene
+// tracker never lets any victim's exposure reach NRH — its preventive
+// refreshes restore the victim's charge before the neighbors' activations
+// accumulate.
+func TestForensicsMitigationEfficacy(t *testing.T) {
+	org := smallOrgX()
+	tm := dram.DDR4_2400(8)
+	const nrh = 64
+	fxCfg := sched.ForensicsConfig{Thresholds: []uint32{nrh / 2, nrh}}
+
+	// Alternate the two aggressors flanking victim row 50: each pair of
+	// activations bumps the victim's exposure by two.
+	hammer := func(h *fxHarness) {
+		bank := dram.BankID{Channel: 0, Rank: 0, Bank: 0}
+		for i := 0; i < nrh; i++ {
+			h.readWait(dram.Location{BankID: bank, Row: 49})
+			h.readWait(dram.Location{BankID: bank, Row: 51})
+		}
+	}
+
+	t.Run("unmitigated", func(t *testing.T) {
+		h := newFxHarness(t, org, tm, sched.NoRefresh{}, fxCfg)
+		hammer(h)
+		rep, _ := h.c.ForensicsReport()
+		// Row 50 accumulates all 128 neighbor activations; rows 48 and 52
+		// get 64 each. All three cross both thresholds.
+		if rep.MaxVictimExposure != 2*nrh {
+			t.Errorf("MaxVictimExposure = %d, want %d", rep.MaxVictimExposure, 2*nrh)
+		}
+		if vc := rep.Tally.VictimCrossings; vc[0] != 3 || vc[1] != 3 {
+			t.Errorf("VictimCrossings = %v, want [3 3 0 0]", vc)
+		}
+	})
+
+	t.Run("graphene", func(t *testing.T) {
+		g, err := core.NewGraphene(core.GrapheneConfig{Org: org, Timing: tm, NRH: nrh, Counters: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := newFxHarness(t, org, tm, g, fxCfg)
+		hammer(h)
+		rep, _ := h.c.ForensicsReport()
+		if g.Stats().Triggers == 0 {
+			t.Fatal("the tracker never tripped; the hammer is not reaching NRH/4")
+		}
+		if g.Stats().VictimRefreshes == 0 {
+			t.Fatal("no victim refreshes performed despite tracker trips")
+		}
+		if rep.Tally.VictimCrossings[1] != 0 {
+			t.Errorf("VictimCrossings[NRH] = %d under Graphene, want 0", rep.Tally.VictimCrossings[1])
+		}
+		if rep.MaxVictimExposure >= nrh {
+			t.Errorf("MaxVictimExposure = %d, want < %d", rep.MaxVictimExposure, nrh)
+		}
+	})
+}

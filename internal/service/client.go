@@ -82,17 +82,29 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// retryAfter parses a Retry-After header (integer seconds form); 0 when
-// absent or unparseable.
+// retryAfter parses a Retry-After header in either RFC 9110 form —
+// integer seconds or an HTTP-date (delay is the time remaining until
+// it); 0 when absent, unparseable, or already in the past.
 func retryAfter(resp *http.Response) time.Duration {
 	if resp == nil {
 		return 0
 	}
-	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if err != nil || secs <= 0 {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // NewClient returns a client for the server at baseURL.

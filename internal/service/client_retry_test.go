@@ -1,0 +1,48 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{Header: h}
+}
+
+// TestRetryAfterForms pins both RFC 9110 Retry-After forms: integer
+// seconds and HTTP-date (the form the seed client silently dropped,
+// retrying immediately).
+func TestRetryAfterForms(t *testing.T) {
+	if d := retryAfter(nil); d != 0 {
+		t.Errorf("nil response: %v, want 0", d)
+	}
+	if d := retryAfter(respWithRetryAfter("")); d != 0 {
+		t.Errorf("absent header: %v, want 0", d)
+	}
+	if d := retryAfter(respWithRetryAfter("3")); d != 3*time.Second {
+		t.Errorf("integer form: %v, want 3s", d)
+	}
+	for _, v := range []string{"0", "-2", "garbage"} {
+		if d := retryAfter(respWithRetryAfter(v)); d != 0 {
+			t.Errorf("%q: %v, want 0", v, d)
+		}
+	}
+	// HTTP-date form: a date ~10s out must yield a positive delay close
+	// to the remaining time (HTTP-dates have 1s resolution, and a little
+	// wall clock elapses between formatting and parsing).
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	d := retryAfter(respWithRetryAfter(future))
+	if d <= 7*time.Second || d > 10*time.Second {
+		t.Errorf("HTTP-date form: %v, want ~10s", d)
+	}
+	// A past date means "retry now", not a negative sleep.
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := retryAfter(respWithRetryAfter(past)); d != 0 {
+		t.Errorf("past HTTP-date: %v, want 0", d)
+	}
+}

@@ -35,7 +35,7 @@ func collectForensics(spec JobSpec, raw json.RawMessage) ([]PolicyForensics, err
 		}
 	}
 	switch spec.Kind {
-	case KindFig9, KindFig12, KindFig13, KindFig14, KindFig15, KindFig16:
+	case KindFig9, KindFig12, KindFig13, KindFig14, KindFig15, KindFig16, KindAttack:
 		var res sim.FigureResult
 		if err := json.Unmarshal(raw, &res); err != nil {
 			return nil, err
@@ -47,6 +47,9 @@ func collectForensics(spec JobSpec, raw json.RawMessage) ([]PolicyForensics, err
 			fold(row.Forensics)
 		}
 		for _, row := range res.Scale {
+			fold(row.Forensics)
+		}
+		for _, row := range res.Attack {
 			fold(row.Forensics)
 		}
 	case KindPolicies:

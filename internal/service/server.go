@@ -343,6 +343,16 @@ func (s *Server) execute(ctx context.Context, j *job) (json.RawMessage, *sim.Eng
 			return nil, &stats, err
 		}
 		return marshal(res, &stats)
+	case KindAttack:
+		var stats sim.EngineStats
+		opts := spec.Sim.options()
+		opts.Stats = &stats
+		opts.ProgressStats = s.progressStats(j)
+		rows, err := s.lab.AttackSweep(ctx, opts, spec.Attacks, spec.NRHs)
+		if err != nil {
+			return nil, &stats, err
+		}
+		return marshal(sim.FigureResult{Kind: KindAttack, Attack: rows, Stats: stats}, &stats)
 	case KindPolicies:
 		policies, err := spec.policyList()
 		if err != nil {

@@ -32,6 +32,7 @@ const (
 	KindCharacterize = "characterize"
 	KindSecurity     = "security"
 	KindArea         = "area"
+	KindAttack       = "attack"
 )
 
 // JobSpec is the body of POST /v1/jobs: one experiment request.
@@ -64,6 +65,13 @@ type JobSpec struct {
 	// Charz sizes kind "characterize"; nil characterizes all modules at
 	// reduced (laptop-scale) defaults.
 	Charz *CharzSpec `json:"charz,omitempty"`
+
+	// Attacks selects attacker presets for kind "attack" (names from
+	// sim.AttackKinds: "single", "double", "many", "refsync", "decoy");
+	// nil runs all of them. The attack sweep pairs each preset with the
+	// mitigation zoo at each NRHs value and always runs the forensics
+	// ledger, so per-point efficacy metrics land in the result.
+	Attacks []string `json:"attacks,omitempty"`
 
 	// Workloads, for figure and policy kinds, replaces the builtin
 	// random SPEC mixes with an explicit workload set: named mixes over
@@ -166,12 +174,17 @@ type ConfigSpec struct {
 // PolicySpec names one refresh policy.
 type PolicySpec struct {
 	// Type: "norefresh", "baseline", "hira" (periodic HiRA-Slack),
-	// "para" (PARA at NRH without HiRA), or "para+hira".
+	// "para" (PARA at NRH without HiRA), "para+hira", or a mitigation-zoo
+	// engine: "graphene" (counter-table tracker) or "rfm" (DDR5
+	// refresh-management pacing).
 	Type string `json:"type"`
 	// Slack is the N of HiRA-N (tRefSlack in units of tRC).
 	Slack int `json:"slack,omitempty"`
-	// NRH is the RowHammer threshold for the PARA types.
+	// NRH is the RowHammer threshold for the PARA and zoo types.
 	NRH int `json:"nrh,omitempty"`
+	// Param tunes a zoo engine: Graphene's counter-table size or RFM's
+	// RAAIMT activation budget. 0 takes the engine's default sizing.
+	Param int `json:"param,omitempty"`
 }
 
 // CharzSpec sizes a characterization job.
@@ -397,8 +410,8 @@ func (spec JobSpec) Validate(l Limits) error {
 		if err := validateGrid("xs", spec.Xs, l.MaxGrid, 1, 16); err != nil {
 			return err
 		}
-		if spec.Policies != nil || spec.Config != nil || spec.Charz != nil {
-			return fmt.Errorf("%s does not take policies, config, or charz", spec.Kind)
+		if spec.Policies != nil || spec.Config != nil || spec.Charz != nil || spec.Attacks != nil {
+			return fmt.Errorf("%s does not take policies, config, charz, or attacks", spec.Kind)
 		}
 		if err := spec.Sim.validate(l); err != nil {
 			return err
@@ -424,8 +437,8 @@ func (spec JobSpec) Validate(l Limits) error {
 				return err
 			}
 		}
-		if spec.Capacities != nil || spec.NRHs != nil || spec.Xs != nil || spec.Charz != nil {
-			return fmt.Errorf("policies does not take grids or charz")
+		if spec.Capacities != nil || spec.NRHs != nil || spec.Xs != nil || spec.Charz != nil || spec.Attacks != nil {
+			return fmt.Errorf("policies does not take grids, charz, or attacks")
 		}
 		if err := spec.Sim.validate(l); err != nil {
 			return err
@@ -434,15 +447,48 @@ func (spec JobSpec) Validate(l Limits) error {
 			return err
 		}
 		return spec.validateCost(l)
+	case KindAttack:
+		if spec.Capacities != nil || spec.Xs != nil || spec.Policies != nil ||
+			spec.Config != nil || spec.Charz != nil {
+			return fmt.Errorf("attack takes only the sim block, an nrhs grid, and an attacks list")
+		}
+		if spec.Workloads != nil {
+			// The attack sweep builds its own mix: the attacker on core 0
+			// hiding in builtin benign traffic on the rest.
+			return fmt.Errorf("attack does not take a workloads object")
+		}
+		if err := validateGrid("nrhs", spec.NRHs, l.MaxGrid, 1, 1<<20); err != nil {
+			return err
+		}
+		if spec.Attacks != nil && len(spec.Attacks) == 0 {
+			return fmt.Errorf("attacks is empty; omit it to run every preset")
+		}
+		if len(spec.Attacks) > l.MaxGrid {
+			return fmt.Errorf("attacks has %d entries, limit %d", len(spec.Attacks), l.MaxGrid)
+		}
+		known := map[string]bool{}
+		for _, k := range sim.AttackKinds() {
+			known[k] = true
+		}
+		for _, k := range spec.Attacks {
+			if !known[k] {
+				return fmt.Errorf("unknown attack %q (want one of %v)", k, sim.AttackKinds())
+			}
+		}
+		if err := spec.Sim.validate(l); err != nil {
+			return err
+		}
+		return spec.validateCost(l)
 	case KindCharacterize:
 		if spec.Sim != nil || spec.Capacities != nil || spec.NRHs != nil || spec.Xs != nil ||
-			spec.Policies != nil || spec.Config != nil || spec.Workloads != nil {
+			spec.Policies != nil || spec.Config != nil || spec.Workloads != nil || spec.Attacks != nil {
 			return fmt.Errorf("characterize takes only the charz block")
 		}
 		return spec.Charz.validate()
 	case KindSecurity, KindArea:
 		if spec.Sim != nil || spec.Capacities != nil || spec.NRHs != nil || spec.Xs != nil ||
-			spec.Policies != nil || spec.Config != nil || spec.Charz != nil || spec.Workloads != nil {
+			spec.Policies != nil || spec.Config != nil || spec.Charz != nil || spec.Workloads != nil ||
+			spec.Attacks != nil {
 			return fmt.Errorf("%s takes no parameters", spec.Kind)
 		}
 		return nil
@@ -476,6 +522,13 @@ func (spec JobSpec) validateCost(l Limits) error {
 		points, policies = gridLen(spec.NRHs, 3)*gridLen(spec.Xs, len(sim.ScaleXValues())), 3
 	case KindPolicies:
 		points, policies = 1, int64(len(spec.Policies))
+	case KindAttack:
+		attacks := int64(len(sim.AttackKinds()))
+		if spec.Attacks != nil {
+			attacks = int64(len(spec.Attacks))
+		}
+		points = attacks * gridLen(spec.NRHs, len(sim.AttackNRHValues()))
+		policies = 4 // the zoo: Baseline, PARA, Graphene, RFM
 	default:
 		return nil
 	}
@@ -483,6 +536,11 @@ func (spec JobSpec) validateCost(l Limits) error {
 	if spec.Workloads != nil {
 		// An explicit workload set replaces the builtin mixes.
 		o.Workloads = len(spec.Workloads.Mixes)
+	}
+	if spec.Kind == KindAttack {
+		// The attack sweep always runs exactly one mix per point: the
+		// attacker hiding in one benign mix.
+		o.Workloads = 1
 	}
 	cost := points * policies * int64(o.Workloads) * int64(o.Warmup+o.Measure)
 	if cost > l.MaxTotalTicks {
@@ -589,6 +647,12 @@ func (p PolicySpec) policy() (sim.RefreshPolicy, error) {
 	if p.NRH < 0 || p.NRH > 1<<20 {
 		return sim.RefreshPolicy{}, fmt.Errorf("nrh %d outside [0, 2^20]", p.NRH)
 	}
+	if p.Param < 0 || p.Param > 1<<20 {
+		return sim.RefreshPolicy{}, fmt.Errorf("param %d outside [0, 2^20]", p.Param)
+	}
+	if p.Param != 0 && p.Type != "graphene" && p.Type != "rfm" {
+		return sim.RefreshPolicy{}, fmt.Errorf("param only tunes the graphene and rfm types")
+	}
 	switch p.Type {
 	case "norefresh":
 		return sim.NoRefreshPolicy(), nil
@@ -606,6 +670,16 @@ func (p PolicySpec) policy() (sim.RefreshPolicy, error) {
 			return sim.RefreshPolicy{}, fmt.Errorf("para+hira needs an nrh")
 		}
 		return sim.PARAHiRAPolicy(p.NRH, p.Slack), nil
+	case "graphene":
+		if p.NRH == 0 {
+			return sim.RefreshPolicy{}, fmt.Errorf("graphene needs an nrh")
+		}
+		return sim.GraphenePolicy(p.NRH, p.Param), nil
+	case "rfm":
+		if p.NRH == 0 && p.Param == 0 {
+			return sim.RefreshPolicy{}, fmt.Errorf("rfm needs an nrh or an explicit param (RAAIMT)")
+		}
+		return sim.RFMPolicy(p.NRH, p.Param), nil
 	default:
 		return sim.RefreshPolicy{}, fmt.Errorf("unknown policy type %q", p.Type)
 	}

@@ -57,6 +57,11 @@ func simCellKey(cfg Config, mix workload.SourceMix, warmup, measure int) string 
 		cfg.Cores, cfg.ChipCapacityGbit, cfg.Channels, cfg.Ranks, cov, cfg.Seed,
 		cfg.Policy.Periodic, cfg.Policy.Preventive, cfg.Policy.SlackTRC, cfg.Policy.NRH,
 		warmup, measure, strings.Join(wl, ","))
+	if cfg.Policy.Mitigation != "" {
+		// Suffix only mitigation cells, so every pre-mitigation store
+		// entry stays warm.
+		key += fmt.Sprintf(" mit=%s mp=%d", cfg.Policy.Mitigation, cfg.Policy.MitigationParam)
+	}
 	if cfg.Forensics.Enabled {
 		// Forensics never perturbs the trajectory, but it adds a summary
 		// to the cell payload — suffix only forensics cells so every
@@ -105,6 +110,11 @@ func runSimCell(ctx context.Context, snaps *engine.SnapStore, interval int,
 		// The forensics ledger is not part of Snapshot/Restore (it would
 		// double the snapshot size for an opt-in observer), so a resumed
 		// run would under-count. Forensics cells always run cold.
+		snaps = nil
+	}
+	if cfg.Policy.Mitigation != "" {
+		// Zoo-engine tracker state is not checkpointable (System.Snapshot
+		// refuses it); skip the resume scan instead of missing noisily.
 		snaps = nil
 	}
 	ck := checkpointer{snaps: snaps, interval: interval, key: trajectoryKey(cfg, mix)}

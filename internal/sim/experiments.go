@@ -7,6 +7,7 @@ import (
 
 	"hira/internal/cache"
 	"hira/internal/cpu"
+	"hira/internal/dram"
 	"hira/internal/engine"
 	"hira/internal/fault"
 	"hira/internal/metrics"
@@ -746,15 +747,152 @@ func (e *Engine) Fig16(ctx context.Context, opts Options, xs, nrhs []int) ([]Sca
 		func(int) int { return 8 })
 }
 
+// AttackKinds lists the attacker presets AttackSweep runs by default:
+// plain single-, double-, and many-sided hammering, a
+// refresh-synchronized double-sided variant (hammer bursts separated by
+// idle gaps, probing duty-cycled trackers), and a decoy variant
+// (interleaved far-row accesses diluting activation-frequency trackers).
+func AttackKinds() []string {
+	return []string{"single", "double", "many", "refsync", "decoy"}
+}
+
+// attackPreset builds the AttackSpec one preset names, targeting the
+// middle row of bank 2 of the given organization.
+func attackPreset(kind string, org dram.Org) (workload.AttackSpec, error) {
+	spec := workload.AttackSpec{Bank: 2, VictimRow: org.RowsPerBank() / 2}
+	switch kind {
+	case "single":
+		spec.Kind = workload.AttackSingle
+	case "double":
+		spec.Kind = workload.AttackDouble
+	case "many":
+		spec.Kind = workload.AttackMany
+		spec.Aggressors = 8
+	case "refsync":
+		spec.Kind = workload.AttackDouble
+		spec.BurstAccesses = 128
+		spec.IdleGap = 2048
+	case "decoy":
+		spec.Kind = workload.AttackDouble
+		spec.Decoys = 4
+	default:
+		return spec, fmt.Errorf("sim: unknown attack kind %q (want one of %v)", kind, AttackKinds())
+	}
+	return spec, nil
+}
+
+// AttackRow is one (attack, NRH) point of the attack×mitigation sweep:
+// weighted speedups per policy plus each policy's forensics summary —
+// the efficacy verdict lives in Forensics[policy].MaxVictimExposure and
+// .Tally.VictimCrossings against the row's NRH.
+type AttackRow struct {
+	Attack string             `json:"attack"`
+	NRH    int                `json:"nrh"`
+	WS     map[string]float64 `json:"ws"`
+	// NormBaseline normalizes each policy's WS to the no-defense
+	// Baseline under the same attack: the performance cost of defending.
+	NormBaseline map[string]float64           `json:"norm_baseline"`
+	Forensics    map[string]*ForensicsSummary `json:"forensics,omitempty"`
+}
+
+// AttackNRHValues is the default threshold axis of the attack sweep: low
+// enough that an unmitigated attack crosses NRH within a laptop-scale
+// measured phase. (An attack round spreads its activations over each
+// aggressor's whole eviction class, so victim exposure accrues at
+// roughly 2/(aggressors*EvictRows) of the bank's activation rate —
+// around 200 over the default horizons.)
+func AttackNRHValues() []int { return []int{64, 128} }
+
+// attackSweepPolicies is the mitigation zoo evaluated at one threshold:
+// no defense, PARA (the paper's probabilistic preventive baseline), and
+// the two deterministic zoo engines with their default sizing. The
+// Baseline entry carries the row's NRH purely to anchor its forensics
+// ledger thresholds — with no preventive mechanism the engine never
+// consults it, so the cell's command stream is the true no-defense run.
+func attackSweepPolicies(nrh int) []RefreshPolicy {
+	base := BaselinePolicy()
+	base.NRH = nrh
+	return []RefreshPolicy{
+		base,
+		PARAPolicy(nrh),
+		GraphenePolicy(nrh, 0),
+		RFMPolicy(nrh, 0),
+	}
+}
+
+// AttackSweep runs the attack×mitigation×NRH grid on a fresh
+// single-sweep engine.
+func AttackSweep(ctx context.Context, opts Options, attacks []string, nrhs []int) ([]AttackRow, error) {
+	return newSweepEngine(opts).AttackSweep(ctx, opts, attacks, nrhs)
+}
+
+// AttackSweep runs each attacker preset (core 0 of an otherwise benign
+// mix) against each mitigation at each RowHammer threshold, on the
+// shared engine. Attack cells always run with the forensics ledger
+// enabled: the sweep's deliverable is the per-point efficacy metrics
+// (victim exposure and crossings) alongside weighted speedup. Nil
+// attacks or nrhs take the defaults.
+func (e *Engine) AttackSweep(ctx context.Context, opts Options, attacks []string, nrhs []int) ([]AttackRow, error) {
+	if attacks == nil {
+		attacks = AttackKinds()
+	}
+	if nrhs == nil {
+		nrhs = AttackNRHValues()
+	}
+	opts = opts.withDefaults()
+	opts.Forensics = true
+	base := DefaultConfig()
+	org := OrgFor(base)
+	// The non-attacker cores run the first builtin SPEC mix drawn from
+	// the seed — the attack hides in otherwise benign traffic.
+	benign := workload.Mixes(1, opts.Cores, opts.Seed)[0].Sources()
+	var rows []AttackRow
+	for _, kind := range attacks {
+		spec, err := attackPreset(kind, org)
+		if err != nil {
+			return nil, err
+		}
+		atk, err := workload.NewAttack(spec, org)
+		if err != nil {
+			return nil, err
+		}
+		mix := workload.SourceMix{ID: 0,
+			Sources: append([]workload.Source{atk}, benign.Sources[1:]...)}
+		aOpts := opts
+		aOpts.Mixes = []workload.SourceMix{mix}
+		aOpts.Workloads = 1
+		for _, nrh := range nrhs {
+			scores, err := runPolicies(ctx, e, base, attackSweepPolicies(nrh), aOpts)
+			if err != nil {
+				return nil, err
+			}
+			row := AttackRow{Attack: kind, NRH: nrh,
+				WS: map[string]float64{}, NormBaseline: map[string]float64{},
+				Forensics: forensicsByPolicy(scores)}
+			for _, s := range scores {
+				row.WS[s.Policy.Name] = s.WS
+			}
+			for name, ws := range row.WS {
+				if b := row.WS["Baseline"]; b > 0 {
+					row.NormBaseline[name] = ws / b
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
 // FigureResult is the serializable envelope of one figure run: exactly
 // one of the row slices is set, per Kind. cmd/hira-sim's -json flag and
 // the experiment service emit this identical encoding, so CLI and HTTP
 // outputs are diffable.
 type FigureResult struct {
-	Kind  string     `json:"kind"`
-	Fig9  []Fig9Row  `json:"fig9,omitempty"`
-	Fig12 []Fig12Row `json:"fig12,omitempty"`
-	Scale []ScaleRow `json:"scale,omitempty"`
+	Kind   string      `json:"kind"`
+	Fig9   []Fig9Row   `json:"fig9,omitempty"`
+	Fig12  []Fig12Row  `json:"fig12,omitempty"`
+	Scale  []ScaleRow  `json:"scale,omitempty"`
+	Attack []AttackRow `json:"attack,omitempty"`
 	// Stats tallies how the engine resolved this figure's cells.
 	Stats EngineStats `json:"engine_stats"`
 }
@@ -790,6 +928,10 @@ func (e *Engine) Figure(ctx context.Context, kind string, opts Options, xs, para
 		res.Scale, err = e.Fig15(ctx, opts, xs, params)
 	case "fig16":
 		res.Scale, err = e.Fig16(ctx, opts, xs, params)
+	case "attack":
+		// params is the NRH axis; the attack set is the default presets
+		// (callers wanting a custom set use AttackSweep directly).
+		res.Attack, err = e.AttackSweep(ctx, opts, nil, params)
 	default:
 		return nil, fmt.Errorf("sim: unknown figure kind %q", kind)
 	}

@@ -46,6 +46,12 @@ type ForensicsSummary struct {
 	// every charge restoration, so the max reflects real exposure, not
 	// accumulation age. Across merged cells it is the max of maxes.
 	MaxInterrefACTs uint32 `json:"max_interref_acts"`
+	// MaxVictimExposure is the largest victim-side exposure any row
+	// reached: adjacent-row activations since the row's own charge was
+	// last restored. This is the mitigation-efficacy headline — an attack
+	// succeeds when it exceeds the policy's NRH, and a victim-refreshing
+	// mitigation keeps it below. A running max like MaxInterrefACTs.
+	MaxVictimExposure uint32 `json:"max_victim_exposure"`
 	// Tally is the measured-phase forensics counter set (cumulative
 	// counters diffed at the warmup mark, exactly like sched.Stats).
 	Tally sched.ForensicsTally `json:"tally"`
@@ -89,6 +95,9 @@ func MergeForensics(dst, o *ForensicsSummary) *ForensicsSummary {
 	dst.Tally = dst.Tally.Add(o.Tally)
 	if o.MaxInterrefACTs > dst.MaxInterrefACTs {
 		dst.MaxInterrefACTs = o.MaxInterrefACTs
+	}
+	if o.MaxVictimExposure > dst.MaxVictimExposure {
+		dst.MaxVictimExposure = o.MaxVictimExposure
 	}
 	for _, e := range o.Events {
 		if len(dst.Events) >= mergedEventCap {

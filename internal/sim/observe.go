@@ -27,7 +27,9 @@ type simMetrics struct {
 	fxRowsReset    *telemetry.Counter
 	fxREFRowsReset *telemetry.Counter
 	fxCrossings    [sched.MaxForensicsThresholds]*telemetry.Counter
+	fxVictimCross  [sched.MaxForensicsThresholds]*telemetry.Counter
 	fxMax          atomic.Uint64 // exported via GaugeFunc
+	fxVictimMax    atomic.Uint64 // exported via GaugeFunc
 
 	// Mitigation-efficacy families.
 	mitUseful, mitWasted, mitPeriodic *telemetry.Counter
@@ -79,9 +81,17 @@ func newSimMetrics(r *telemetry.Registry) *simMetrics {
 			"Events where a row's interref activation count reached a configured threshold, by ascending threshold rank.",
 			telemetry.Label{Key: "threshold", Value: fmt.Sprintf("%d", i+1)})
 	}
+	for i := range m.fxVictimCross {
+		m.fxVictimCross[i] = r.Counter("hira_rowhammer_victim_crossings_total",
+			"Events where a victim row's exposure (adjacent activations since its own charge restoration) reached a configured threshold, by ascending threshold rank.",
+			telemetry.Label{Key: "threshold", Value: fmt.Sprintf("%d", i+1)})
+	}
 	r.GaugeFunc("hira_rowhammer_max_interref_acts",
 		"Largest interref activation count any row reached across forensics cells.",
 		func() float64 { return float64(m.fxMax.Load()) })
+	r.GaugeFunc("hira_rowhammer_max_victim_exposure",
+		"Largest victim-side exposure any row reached across forensics cells.",
+		func() float64 { return float64(m.fxVictimMax.Load()) })
 	return m
 }
 
@@ -111,6 +121,9 @@ func (m *simMetrics) observe(res CellResult) {
 		for i, c := range m.fxCrossings {
 			c.Add(t.Crossings[i])
 		}
+		for i, c := range m.fxVictimCross {
+			c.Add(t.VictimCrossings[i])
+		}
 		m.mitUseful.Add(t.PreventiveUseful)
 		m.mitWasted.Add(t.PreventiveWasted)
 		m.mitPeriodic.Add(t.PeriodicRowRefreshes)
@@ -120,6 +133,13 @@ func (m *simMetrics) observe(res CellResult) {
 			cur := m.fxMax.Load()
 			if uint64(f.MaxInterrefACTs) <= cur ||
 				m.fxMax.CompareAndSwap(cur, uint64(f.MaxInterrefACTs)) {
+				break
+			}
+		}
+		for {
+			cur := m.fxVictimMax.Load()
+			if uint64(f.MaxVictimExposure) <= cur ||
+				m.fxVictimMax.CompareAndSwap(cur, uint64(f.MaxVictimExposure)) {
 				break
 			}
 		}

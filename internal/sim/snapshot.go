@@ -38,11 +38,28 @@ func trajectoryKey(cfg Config, mix workload.SourceMix) string {
 	if cov == 0 {
 		cov = defaultSPTCoverage
 	}
-	return fmt.Sprintf(
+	key := fmt.Sprintf(
 		"traj/v1 cores=%d cap=%d ch=%d rk=%d spt=%g seed=%d per=%d prev=%d slack=%d nrh=%d wl=%s",
 		cfg.Cores, cfg.ChipCapacityGbit, cfg.Channels, cfg.Ranks, cov, cfg.Seed,
 		cfg.Policy.Periodic, cfg.Policy.Preventive, cfg.Policy.SlackTRC, cfg.Policy.NRH,
 		strings.Join(wl, ","))
+	// Mitigation cells never checkpoint (their engines refuse Snapshot),
+	// but the trajectory key still rides inside every snapshot as the
+	// identity cross-check, so it must distinguish them all the same.
+	// Suffix only when set, keeping pre-mitigation keys byte-identical.
+	if cfg.Policy.Mitigation != "" {
+		key += fmt.Sprintf(" mit=%s mp=%d", cfg.Policy.Mitigation, cfg.Policy.MitigationParam)
+	}
+	return key
+}
+
+// checkpointableEngine is the capability Snapshot and RestoreSystem
+// require of the refresh engine. The HiRA-MC engine implements it; the
+// mitigation zoo engines deliberately do not (their tracker state is
+// transient by design), so systems running them simulate from tick zero.
+type checkpointableEngine interface {
+	Snapshot(w *snap.Writer)
+	Restore(r *snap.Reader, now dram.Time) error
 }
 
 // Snapshot serializes the machine's complete mutable state — cores and
@@ -53,6 +70,10 @@ func trajectoryKey(cfg Config, mix workload.SourceMix) string {
 // (see TestResumeEquivalence). It fails only when a core runs a custom
 // workload stream that does not support position snapshots.
 func (s *System) Snapshot() ([]byte, error) {
+	ce, ok := s.engine.(checkpointableEngine)
+	if !ok {
+		return nil, fmt.Errorf("sim: refresh engine %T is not checkpointable", s.engine)
+	}
 	// Dominated by the LLC's bulk-encoded line state (~17 bytes/line);
 	// 1/4 headroom covers everything else without a growth copy.
 	w := snap.NewWriterSize(s.llc.SnapshotSize() * 5 / 4)
@@ -80,7 +101,7 @@ func (s *System) Snapshot() ([]byte, error) {
 	}
 	s.llc.Snapshot(w)
 	s.ctrl.Snapshot(w)
-	s.engine.Snapshot(w)
+	ce.Snapshot(w)
 	return w.Bytes(), nil
 }
 
@@ -241,7 +262,11 @@ func RestoreSystem(cfg Config, mix workload.SourceMix, data []byte) (*System, er
 		return nil, fmt.Errorf("sim: snapshot clock %v disagrees with tick count %d",
 			s.ctrl.Now(), s.ticksRun)
 	}
-	if err := s.engine.Restore(r, s.ctrl.Now()); err != nil {
+	ce, ok := s.engine.(checkpointableEngine)
+	if !ok {
+		return nil, fmt.Errorf("sim: refresh engine %T is not checkpointable", s.engine)
+	}
+	if err := ce.Restore(r, s.ctrl.Now()); err != nil {
 		return nil, err
 	}
 	r.Done()

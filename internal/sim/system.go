@@ -40,6 +40,14 @@ const llcHitLatencyCycles = 40
 // NewSystem simulates.
 const defaultSPTCoverage = 0.32
 
+// Mitigation names for RefreshPolicy.Mitigation: the preventive
+// mitigation zoo (internal/core). Empty means the HiRA-MC engine
+// (baseline REF / HiRA / PARA per the mode fields).
+const (
+	MitigationGraphene = "graphene"
+	MitigationRFM      = "rfm"
+)
+
 // RefreshPolicy names a refresh configuration under test.
 type RefreshPolicy struct {
 	// Name labels the configuration in reports ("Baseline", "HiRA-2"...).
@@ -53,6 +61,16 @@ type RefreshPolicy struct {
 
 	// NRH is the RowHammer threshold PARA must defend; 0 disables PARA.
 	NRH int `json:"nrh"`
+
+	// Mitigation, when non-empty, replaces the HiRA-MC engine with a zoo
+	// engine ("graphene" or "rfm"); the mode fields above are then unused.
+	// Zoo-engine tracker state is not checkpointable, so cells running a
+	// mitigation always simulate from tick zero.
+	Mitigation string `json:"mitigation,omitempty"`
+	// MitigationParam is the mitigation's size knob: the per-bank counter
+	// count for Graphene, RAAIMT for RFM. 0 takes a default derived from
+	// NRH (see buildEngine).
+	MitigationParam int `json:"mitigation_param,omitempty"`
 }
 
 // NoRefreshPolicy is Fig. 9a's ideal upper bound.
@@ -94,6 +112,30 @@ func PARAHiRAPolicy(nrh, n int) RefreshPolicy {
 		Preventive: core.PreventiveHiRA,
 		SlackTRC:   n,
 		NRH:        nrh,
+	}
+}
+
+// GraphenePolicy is the Graphene-style counter-table mitigation: per-bank
+// Misra-Gries top-k activation counters tripping at NRH/4, victims
+// refreshed by blocking row refreshes. counters 0 takes the default (16).
+func GraphenePolicy(nrh, counters int) RefreshPolicy {
+	return RefreshPolicy{
+		Name:            "Graphene",
+		NRH:             nrh,
+		Mitigation:      MitigationGraphene,
+		MitigationParam: counters,
+	}
+}
+
+// RFMPolicy is the DDR5 RFM-style mitigation: per-bank activation
+// budgets (RAA counters) with a single-entry majority-vote tracker.
+// raaimt 0 takes the default (NRH/8, at least 2).
+func RFMPolicy(nrh, raaimt int) RefreshPolicy {
+	return RefreshPolicy{
+		Name:            "RFM",
+		NRH:             nrh,
+		Mitigation:      MitigationRFM,
+		MitigationParam: raaimt,
 	}
 }
 
@@ -176,7 +218,7 @@ type System struct {
 	org    dram.Org
 	timing dram.Timing
 	ctrl   *sched.Controller
-	engine *core.HiRAMC
+	engine sched.RefreshEngine
 	llc    *cache.Cache
 	mapper *dram.MOPMapper
 	cores  []*cpu.Core
@@ -215,13 +257,11 @@ func scaledRows(base, capacityGbit int) int {
 	return n
 }
 
-// NewSystem builds the system for a mix of per-core workload sources
-// (builtin or custom profiles, recorded traces — anything implementing
-// workload.Source).
-func NewSystem(cfg Config, mix workload.SourceMix) (*System, error) {
-	if len(mix.Sources) != cfg.Cores {
-		return nil, fmt.Errorf("sim: mix has %d workloads for %d cores", len(mix.Sources), cfg.Cores)
-	}
+// OrgFor returns the DRAM organization a Config simulates, exactly as
+// NewSystem builds it. Mapping-aware workload sources (the attacker
+// sources) must be constructed against this organization to land their
+// accesses on the intended rows.
+func OrgFor(cfg Config) dram.Org {
 	// The capacity sweep scales refresh work the way the paper's
 	// Expression 1 scales it for the baseline: tRFC = 110·C^0.6, i.e.
 	// the per-REF refresh work grows as C^0.6 (denser chips refresh more
@@ -235,8 +275,34 @@ func NewSystem(cfg Config, mix workload.SourceMix) (*System, error) {
 	org.RowsPerSubarray = scaledRows(512, cfg.ChipCapacityGbit)
 	org.Channels = cfg.Channels
 	org.RanksPerChannel = cfg.Ranks
-	timing := dram.DDR4_2400(cfg.ChipCapacityGbit)
+	return org
+}
 
+// buildEngine constructs the refresh engine a policy names: a zoo
+// mitigation when Policy.Mitigation is set, the HiRA-MC engine otherwise.
+func buildEngine(cfg Config, org dram.Org, timing dram.Timing) (sched.RefreshEngine, error) {
+	switch cfg.Policy.Mitigation {
+	case MitigationGraphene:
+		counters := cfg.Policy.MitigationParam
+		if counters == 0 {
+			counters = 16
+		}
+		return core.NewGraphene(core.GrapheneConfig{
+			Org: org, Timing: timing, NRH: cfg.Policy.NRH, Counters: counters,
+		})
+	case MitigationRFM:
+		raaimt := cfg.Policy.MitigationParam
+		if raaimt == 0 {
+			raaimt = cfg.Policy.NRH / 8
+			if raaimt < 2 {
+				raaimt = 2
+			}
+		}
+		return core.NewRFM(core.RFMConfig{Org: org, Timing: timing, RAAIMT: raaimt})
+	case "":
+	default:
+		return nil, fmt.Errorf("sim: unknown mitigation %q", cfg.Policy.Mitigation)
+	}
 	ecfg := core.Config{
 		Org:        org,
 		Timing:     timing,
@@ -260,7 +326,20 @@ func NewSystem(cfg Config, mix workload.SourceMix) (*System, error) {
 		}
 		ecfg.Pth = pth
 	}
-	engine, err := core.New(ecfg)
+	return core.New(ecfg)
+}
+
+// NewSystem builds the system for a mix of per-core workload sources
+// (builtin or custom profiles, recorded traces — anything implementing
+// workload.Source).
+func NewSystem(cfg Config, mix workload.SourceMix) (*System, error) {
+	if len(mix.Sources) != cfg.Cores {
+		return nil, fmt.Errorf("sim: mix has %d workloads for %d cores", len(mix.Sources), cfg.Cores)
+	}
+	org := OrgFor(cfg)
+	timing := dram.DDR4_2400(cfg.ChipCapacityGbit)
+
+	engine, err := buildEngine(cfg, org, timing)
 	if err != nil {
 		return nil, err
 	}
@@ -522,12 +601,13 @@ func (s *System) resultSince(m runMark, measure int) Result {
 	}
 	if rep, ok := s.ctrl.ForensicsReport(); ok {
 		res.Forensics = &ForensicsSummary{
-			Thresholds:      rep.Thresholds,
-			HotThreshold:    rep.HotThreshold,
-			MaxInterrefACTs: rep.MaxInterrefACTs,
-			Tally:           rep.Tally.Sub(m.forensics),
-			Events:          rep.Events,
-			DroppedEvents:   rep.DroppedEvents,
+			Thresholds:        rep.Thresholds,
+			HotThreshold:      rep.HotThreshold,
+			MaxInterrefACTs:   rep.MaxInterrefACTs,
+			MaxVictimExposure: rep.MaxVictimExposure,
+			Tally:             rep.Tally.Sub(m.forensics),
+			Events:            rep.Events,
+			DroppedEvents:     rep.DroppedEvents,
 		}
 	}
 	return res

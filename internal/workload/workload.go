@@ -195,10 +195,18 @@ func NewGenerator(p Profile, seed uint64) *Generator {
 	for size < foot {
 		size <<= 1
 	}
+	// Process regions are spaced by the larger of 16 GiB and the rounded
+	// footprint, so co-running cores always touch disjoint regions even at
+	// Validate's 64 GiB ceiling. Footprints <= 16 GiB keep the historical
+	// (seed%64)<<34 placement bit-for-bit.
+	stride := uint64(1) << 34
+	if size > stride {
+		stride = size
+	}
 	g := &Generator{
 		prof:   p,
 		rng:    splitmix(seed ^ 0x9e3779b97f4a7c15),
-		base:   (seed % 64) << 34, // 16GB-spaced process regions
+		base:   (seed % 64) * stride,
 		mask:   size - 1,
 		gapAvg: 1000 / p.MPKI,
 	}

@@ -126,6 +126,62 @@ func TestGeneratorFootprintBounded(t *testing.T) {
 	}
 }
 
+// TestGeneratorFootprintsDisjoint: the regression for the overlap bug —
+// at Validate's 64 GiB footprint ceiling, region spacing must widen past
+// the historical 16 GiB stride so co-running cores (distinct seeds)
+// still touch disjoint address ranges.
+func TestGeneratorFootprintsDisjoint(t *testing.T) {
+	p := Profile{Name: "huge", MPKI: 10, RowLocality: 0.5, FootprintMB: 1 << 16, WriteFrac: 0.2}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("max-footprint profile rejected: %v", err)
+	}
+	size := uint64(p.FootprintMB) << 20
+	type region struct{ lo, hi uint64 }
+	regions := make([]region, 4)
+	for seed := range regions {
+		g := NewGenerator(p, uint64(seed))
+		lo, hi := ^uint64(0), uint64(0)
+		for i := 0; i < 20000; i++ {
+			a := g.Next().Addr
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+		if hi-lo > size {
+			t.Fatalf("seed %d: span %d exceeds footprint %d", seed, hi-lo, size)
+		}
+		if lo < g.base || hi >= g.base+size {
+			t.Fatalf("seed %d: addresses [%d,%d] escape region [%d,%d)", seed, lo, hi, g.base, g.base+size)
+		}
+		regions[seed] = region{g.base, g.base + size}
+	}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[i].lo < regions[j].hi && regions[j].lo < regions[i].hi {
+				t.Errorf("seeds %d and %d share address range [%d,%d) vs [%d,%d)",
+					i, j, regions[i].lo, regions[i].hi, regions[j].lo, regions[j].hi)
+			}
+		}
+	}
+}
+
+// TestGeneratorPlacementUnchangedForSmallFootprints pins that the fix
+// did not move any footprint that already fit the 16 GiB stride: every
+// existing stream (and so every figure golden) is byte-identical.
+func TestGeneratorPlacementUnchangedForSmallFootprints(t *testing.T) {
+	for _, p := range SPEC2006Profiles() {
+		for _, seed := range []uint64{0, 1, 7, 63, 64, 65} {
+			g := NewGenerator(p, seed)
+			if want := (seed % 64) << 34; g.base != want {
+				t.Fatalf("%s seed %d: base %d, want historical %d", p.Name, seed, g.base, want)
+			}
+		}
+	}
+}
+
 func TestMixesDeterministicAndSized(t *testing.T) {
 	a := Mixes(125, 8, 1)
 	b := Mixes(125, 8, 1)
