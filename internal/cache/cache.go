@@ -18,6 +18,13 @@ type Cache struct {
 	lru   []uint64 // access stamp per way; smallest = least recent
 	stamp uint64
 
+	// touched marks lines mutated since the last ResetTouched, for
+	// differential snapshots. Every mutation flows through touch (hits
+	// bump the LRU stamp, fills rewrite the line then touch it), so
+	// marking there covers all line state.
+	touched  []bool
+	ntouched int
+
 	Stats Stats
 }
 
@@ -53,6 +60,7 @@ func New(sizeBytes, assoc, blockBytes int) (*Cache, error) {
 		valid:     make([]bool, blocks),
 		dirty:     make([]bool, blocks),
 		lru:       make([]uint64, blocks),
+		touched:   make([]bool, blocks),
 	}, nil
 }
 
@@ -126,6 +134,10 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 func (c *Cache) touch(i int) {
 	c.stamp++
 	c.lru[i] = c.stamp
+	if !c.touched[i] {
+		c.touched[i] = true
+		c.ntouched++
+	}
 }
 
 // HitRate returns hits / (hits+misses), or 0 with no accesses.

@@ -28,6 +28,111 @@ func (c *Cache) SnapshotSize() int {
 	return 16*len(c.tags) + 2*((len(c.tags)+7)/8) + 48
 }
 
+// SnapshotDelta appends only the lines touched since the last
+// ResetTouched (plus the stamp counter and stats, which are cheap and
+// always change). Touched lines are written in ascending index order as
+// gap-encoded varints so a small working set costs bytes proportional
+// to the lines it actually moved, not to cache capacity. Applying the
+// delta on top of the state it was diffed against reproduces Snapshot's
+// result exactly; lines never touched keep their base values.
+func (c *Cache) SnapshotDelta(w *snap.Writer) {
+	w.U64(c.stamp)
+	w.U64(c.Stats.Hits)
+	w.U64(c.Stats.Misses)
+	w.U64(c.Stats.Writebacks)
+	w.Len(c.ntouched)
+	prev := 0
+	for i, t := range c.touched {
+		if !t {
+			continue
+		}
+		w.U64(uint64(i - prev))
+		prev = i
+		w.U64(c.tags[i])
+		w.U64(c.lru[i])
+		var flags uint8
+		if c.valid[i] {
+			flags |= 1
+		}
+		if c.dirty[i] {
+			flags |= 2
+		}
+		w.U8(flags)
+	}
+}
+
+// SnapshotDeltaSize returns an upper bound on SnapshotDelta's encoded
+// size, so delta writers can pre-size their buffers and encode with
+// zero growth reallocations.
+func (c *Cache) SnapshotDeltaSize() int {
+	// Per line: index gap (≤5) + tag (≤10) + lru (≤10) + flags (1),
+	// rounded up; plus stamp/stats/len header slack.
+	return 32*c.ntouched + 64
+}
+
+// ApplyDelta reads state written by SnapshotDelta into a cache of
+// identical geometry, overwriting only the lines the delta carries. The
+// receiver must already hold the base state the delta was diffed
+// against for the result to be meaningful.
+func (c *Cache) ApplyDelta(r *snap.Reader) error {
+	c.stamp = r.U64()
+	c.Stats.Hits = r.U64()
+	c.Stats.Misses = r.U64()
+	c.Stats.Writebacks = r.U64()
+	n := r.Len(len(c.tags), 4)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	idx := -1
+	for k := 0; k < n; k++ {
+		gap := r.U64()
+		tag := r.U64()
+		lru := r.U64()
+		flags := r.U8()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if gap > uint64(len(c.tags)) {
+			r.Failf("cache delta: line gap %d out of range", gap)
+			return r.Err()
+		}
+		if k == 0 {
+			idx = int(gap)
+		} else {
+			if gap == 0 {
+				r.Failf("cache delta: non-increasing line index")
+				return r.Err()
+			}
+			idx += int(gap)
+		}
+		if idx >= len(c.tags) {
+			r.Failf("cache delta: line index %d out of range", idx)
+			return r.Err()
+		}
+		if flags > 3 {
+			r.Failf("cache delta: bad line flags %#x", flags)
+			return r.Err()
+		}
+		c.tags[idx] = tag
+		c.lru[idx] = lru
+		c.valid[idx] = flags&1 != 0
+		c.dirty[idx] = flags&2 != 0
+	}
+	return r.Err()
+}
+
+// ResetTouched clears the touched-line set; the next SnapshotDelta
+// diffs against the state at this call.
+func (c *Cache) ResetTouched() {
+	if c.ntouched == 0 {
+		return
+	}
+	for i := range c.touched {
+		c.touched[i] = false
+	}
+	c.ntouched = 0
+}
+
 // Restore reads state written by Snapshot into a cache of identical
 // geometry.
 func (c *Cache) Restore(r *snap.Reader) error {
@@ -47,5 +152,11 @@ func (c *Cache) Restore(r *snap.Reader) error {
 	r.U64s(c.lru)
 	r.Bools(c.valid)
 	r.Bools(c.dirty)
+	if r.Err() == nil {
+		// The restored state is by definition the most recent
+		// checkpoint of its trajectory, so the next delta diffs
+		// against it.
+		c.ResetTouched()
+	}
 	return r.Err()
 }

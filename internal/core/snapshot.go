@@ -64,6 +64,20 @@ func (m *HiRAMC) Snapshot(w *snap.Writer) {
 	}
 }
 
+// SnapshotSize returns an upper bound on Snapshot's encoded size for
+// the engine's current state, so composing snapshots can pre-size
+// their buffers.
+func (m *HiRAMC) SnapshotSize() int {
+	n := 64
+	for _, b := range m.banks {
+		n += 96 + len(b.queue)*22 + (len(b.refPtr)+len(b.refreshed))*10
+	}
+	if m.ref != nil {
+		n += m.ref.SnapshotSize()
+	}
+	return n
+}
+
 // Restore reads state written by Snapshot into a freshly constructed
 // engine of identical configuration, validating every row, pointer, and
 // phase against the organization so corrupt checkpoints error instead of

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -52,6 +53,45 @@ type Cell[R any] struct {
 	// poll ctx and return ctx.Err() to honor cancellation promptly; the
 	// result of a cancelled Run is discarded, never cached or stored.
 	Run func(ctx context.Context) (R, error)
+	// Plan, when non-nil, lets the sweep planner coalesce this cell with
+	// others sharing the same Plan.Group into a single pass. Run remains
+	// mandatory: it is the fallback when the planner is disabled, the
+	// group degenerates to one pending cell, or the cell must be
+	// resolved individually (e.g. it was in flight elsewhere when its
+	// group's pass was formed).
+	Plan *Plan[R]
+}
+
+// Plan marks a cell as coalescible: cells submitted in one batch with
+// equal Group keys (same simulation trajectory, different horizons) are
+// run as one pass — a single simulation to the group's maximum horizon
+// that emits each member's finished result as it passes that member's
+// horizon — instead of one restore-and-extend per cell.
+type Plan[R any] struct {
+	// Group identifies the shared trajectory. Cells whose results would
+	// not be produced by one continuous run must not share a group.
+	Group string
+	// Horizon orders members within a group, ascending; it is the tick
+	// the member's result is emitted at.
+	Horizon int
+	// Payload is opaque per-member context handed back to RunPass.
+	Payload any
+	// RunPass executes one coalesced pass over members (sorted by
+	// ascending Horizon; a subset of the group — members already
+	// resolved from the cache or store are excluded). It must call
+	// emit(i, r) with member i's result when the simulation crosses
+	// members[i].Horizon; each emission is cached, persisted, and
+	// released to singleflight waiters immediately, so a pass failing
+	// (or cancelled) midway keeps every row it already emitted. Every
+	// group member's RunPass must be interchangeable.
+	RunPass func(ctx context.Context, members []PlanMember, emit func(i int, r R)) error
+}
+
+// PlanMember is one pending cell of a coalesced pass.
+type PlanMember struct {
+	Key     string
+	Horizon int
+	Payload any
 }
 
 // Stats tallies how an engine resolved the cells submitted to it. For
@@ -71,9 +111,20 @@ type Stats struct {
 	// checkpoint instead of simulating from tick zero, and ResumedTicks
 	// sums the ticks those checkpoints spared — the cells were partially
 	// resumed, not fully simulated. Cells report this through
-	// MarkResumed.
+	// MarkResumed. A coalesced pass counts at most one resume, however
+	// many cells it emits.
 	Resumed      uint64 `json:"resumed"`
 	ResumedTicks uint64 `json:"resumed_ticks"`
+
+	// PlannedPasses counts coalesced passes executed by the sweep
+	// planner and PlannedCells the cells those passes emitted; their
+	// ratio is the coalescing factor. SimulatedTicks accumulates ticks
+	// actually stepped by cell computations (reported via
+	// MarkSimulated), on both the planned and per-cell paths — together
+	// with ResumedTicks it prices what planning and checkpoints saved.
+	PlannedPasses  uint64 `json:"planned_passes"`
+	PlannedCells   uint64 `json:"planned_cells"`
+	SimulatedTicks uint64 `json:"simulated_ticks"`
 
 	// Panics counts cells whose Run panicked. The engine converts each
 	// panic into an ordinary cell error carrying the stack trace — the
@@ -97,6 +148,9 @@ func (s *Stats) Add(o Stats) {
 	s.StoreErrors += o.StoreErrors
 	s.Resumed += o.Resumed
 	s.ResumedTicks += o.ResumedTicks
+	s.PlannedPasses += o.PlannedPasses
+	s.PlannedCells += o.PlannedCells
+	s.SimulatedTicks += o.SimulatedTicks
 	s.Panics += o.Panics
 	if s.FirstStoreError == "" {
 		s.FirstStoreError = o.FirstStoreError
@@ -111,8 +165,9 @@ type resumeNoteKey struct{}
 // engine after Run returns; the computation runs synchronously on one
 // goroutine, so no synchronization is needed.
 type resumeNote struct {
-	resumed bool
-	ticks   int
+	resumed   bool
+	ticks     int
+	simulated uint64
 }
 
 // MarkResumed records that the cell computation running under ctx
@@ -124,6 +179,15 @@ func MarkResumed(ctx context.Context, ticks int) {
 	if n, ok := ctx.Value(resumeNoteKey{}).(*resumeNote); ok {
 		n.resumed = true
 		n.ticks = ticks
+	}
+}
+
+// MarkSimulated accumulates `ticks` ticks actually stepped by the cell
+// computation running under ctx, tallied in Stats.SimulatedTicks.
+// Outside an engine-run cell it is a no-op.
+func MarkSimulated(ctx context.Context, ticks int) {
+	if n, ok := ctx.Value(resumeNoteKey{}).(*resumeNote); ok && ticks > 0 {
+		n.simulated += uint64(ticks)
 	}
 }
 
@@ -156,6 +220,11 @@ type Options struct {
 	// singleflight observations (see Metrics). Count-style tallies stay
 	// in Stats; expose those via RegisterStatsFuncs.
 	Metrics *Metrics
+	// NoPlanner disables the sweep planner engine-wide: cells' Plan
+	// metadata is ignored and every cell resolves individually. Results
+	// are bit-identical either way; this exists for debugging and A/B
+	// measurement.
+	NoPlanner bool
 }
 
 // RunOptions configures one Run batch on a shared engine.
@@ -167,6 +236,8 @@ type RunOptions struct {
 	// streaming consumers can report cache hits and resumed ticks while
 	// the batch is still running, not just at the end.
 	OnProgressStats func(done, total int, batch Stats)
+	// NoPlanner disables the sweep planner for this batch only.
+	NoPlanner bool
 }
 
 // flight is one in-progress cell computation other batches can wait on.
@@ -279,20 +350,71 @@ func (e *Engine[R]) RunWith(ctx context.Context, cells []Cell[R], ropts RunOptio
 	b.stats.Submitted = uint64(len(cells))
 	b.stats.Deduped = uint64(len(cells) - len(order))
 
-	workers := e.opts.Parallelism
-	if workers > len(order) {
-		workers = len(order)
+	// Sweep planning: partition the unique keys into dispatch units —
+	// single cells, plus one unit per Plan group with two or more
+	// pending cells, its members ordered by ascending horizon so the
+	// coalesced pass emits them as it advances. Units keep the groups'
+	// first-appearance order; a singleton group degenerates to the
+	// ordinary per-cell path, making planning a no-op for today's
+	// single-horizon batches.
+	noPlanner := e.opts.NoPlanner || ropts.NoPlanner
+	units := make([][]string, 0, len(order))
+	groupIdx := make(map[string]int)
+	for _, key := range order {
+		c := rep[key]
+		if noPlanner || c.Plan == nil || c.Plan.Group == "" || c.Plan.RunPass == nil {
+			units = append(units, []string{key})
+			continue
+		}
+		gi, ok := groupIdx[c.Plan.Group]
+		if !ok {
+			groupIdx[c.Plan.Group] = len(units)
+			units = append(units, []string{key})
+			continue
+		}
+		units[gi] = append(units[gi], key)
 	}
-	jobs := make(chan string)
+	for _, u := range units {
+		if len(u) > 1 {
+			sort.SliceStable(u, func(i, j int) bool {
+				return rep[u[i]].Plan.Horizon < rep[u[j]].Plan.Horizon
+			})
+		}
+	}
+
+	progress := func(resolved int) {
+		if onProgress == nil && onProgressStats == nil {
+			return
+		}
+		b.mu.Lock()
+		b.done += resolved
+		if onProgressStats != nil {
+			onProgressStats(b.done, len(cells), b.stats)
+		} else {
+			onProgress(b.done, len(cells))
+		}
+		b.mu.Unlock()
+	}
+
+	workers := e.opts.Parallelism
+	if workers > len(units) {
+		workers = len(units)
+	}
+	jobs := make(chan []string)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for key := range jobs {
+			for unit := range jobs {
 				if b.abortedOrDone(ctx) {
 					continue
 				}
+				if len(unit) > 1 {
+					e.resolveGroup(ctx, unit, rep, positions, results, b, progress)
+					continue
+				}
+				key := unit[0]
 				r, err := e.resolve(ctx, rep[key], b)
 				if err != nil {
 					b.fail(err)
@@ -301,23 +423,14 @@ func (e *Engine[R]) RunWith(ctx context.Context, cells []Cell[R], ropts RunOptio
 				for _, i := range positions[key] {
 					results[i] = r
 				}
-				if onProgress != nil || onProgressStats != nil {
-					b.mu.Lock()
-					b.done += len(positions[key])
-					if onProgressStats != nil {
-						onProgressStats(b.done, len(cells), b.stats)
-					} else {
-						onProgress(b.done, len(cells))
-					}
-					b.mu.Unlock()
-				}
+				progress(len(positions[key]))
 			}
 		}()
 	}
 dispatch:
-	for _, key := range order {
+	for _, unit := range units {
 		select {
-		case jobs <- key:
+		case jobs <- unit:
 		case <-ctx.Done():
 			break dispatch
 		}
@@ -485,30 +598,225 @@ func (e *Engine[R]) compute(ctx context.Context, c Cell[R], b *batch) (R, error)
 	e.mu.Unlock()
 	b.bump(func(s *Stats) {
 		s.Simulated++
+		s.SimulatedTicks += note.simulated
 		if note.resumed {
 			s.Resumed++
 			s.ResumedTicks += uint64(note.ticks)
 		}
 	})
 	if e.store != nil {
-		wrSpan := telemetry.StartSpan(ctx, "store-write", c.Key)
-		wrStart := time.Now()
-		_, err := e.store.save(c.Key, r)
-		if m != nil {
-			m.StoreWriteSeconds.Observe(time.Since(wrStart).Seconds())
-		}
-		wrSpan.End()
-		if err != nil {
-			// Best-effort: never throw away a computed result over a
-			// store write failure; record it and carry on from the
-			// memory cache.
-			b.bump(func(s *Stats) {
-				s.StoreErrors++
-				if s.FirstStoreError == "" {
-					s.FirstStoreError = err.Error()
-				}
-			})
-		}
+		e.saveResult(ctx, c.Key, r, b)
 	}
 	return r, nil
+}
+
+// saveResult persists one result to the store, best-effort: a failed
+// write (disk full, permissions) never discards the computed result —
+// the cell stays in the in-memory cache and the failure is tallied.
+func (e *Engine[R]) saveResult(ctx context.Context, key string, r R, b *batch) {
+	m := e.opts.Metrics
+	wrSpan := telemetry.StartSpan(ctx, "store-write", key)
+	wrStart := time.Now()
+	_, err := e.store.save(key, r)
+	if m != nil {
+		m.StoreWriteSeconds.Observe(time.Since(wrStart).Seconds())
+	}
+	wrSpan.End()
+	if err != nil {
+		b.bump(func(s *Stats) {
+			s.StoreErrors++
+			if s.FirstStoreError == "" {
+				s.FirstStoreError = err.Error()
+			}
+		})
+	}
+}
+
+// resolveGroup resolves a Plan group's cells (ascending horizon) as one
+// coalesced pass, preserving the per-cell resolution semantics exactly:
+// members already cached are served as cache hits, members in flight in
+// another batch are waited on individually, claimed members are checked
+// against the store, and only what remains is simulated — by a single
+// RunPass to the maximum pending horizon. Every emitted result is
+// cached, persisted, and released to singleflight waiters immediately;
+// on error or cancellation, cells emitted before the failure stay
+// resolved (warm for the retry) and only the unemitted members' flights
+// carry the error.
+func (e *Engine[R]) resolveGroup(ctx context.Context, keys []string, rep map[string]Cell[R],
+	positions map[string][]int, results []R, b *batch, progress func(int)) {
+	serve := func(key string, r R) {
+		for _, i := range positions[key] {
+			results[i] = r
+		}
+		progress(len(positions[key]))
+	}
+
+	cached := make(map[string]R)
+	flights := make(map[string]*flight[R])
+	var deferred, claimed []string
+	e.mu.Lock()
+	for _, key := range keys {
+		if r, ok := e.cache[key]; ok {
+			cached[key] = r
+			continue
+		}
+		if _, ok := e.inflight[key]; ok {
+			deferred = append(deferred, key)
+			continue
+		}
+		f := &flight[R]{done: make(chan struct{})}
+		e.inflight[key] = f
+		flights[key] = f
+		claimed = append(claimed, key)
+	}
+	e.mu.Unlock()
+	for _, key := range keys {
+		if r, ok := cached[key]; ok {
+			b.bump(func(s *Stats) { s.CacheHits++ })
+			serve(key, r)
+		}
+	}
+
+	// Claimed members may still be on disk from an earlier process; only
+	// what the store cannot answer joins the pass.
+	pass := claimed[:0]
+	for _, key := range claimed {
+		if e.store != nil {
+			sp := telemetry.StartSpan(ctx, "store-read", key)
+			r, ok := e.store.load(key)
+			sp.SetAttr("hit", ok)
+			sp.End()
+			if ok {
+				e.mu.Lock()
+				e.cache[key] = r
+				delete(e.inflight, key)
+				e.mu.Unlock()
+				f := flights[key]
+				f.r = r
+				close(f.done)
+				b.bump(func(s *Stats) { s.StoreHits++ })
+				serve(key, r)
+				continue
+			}
+		}
+		pass = append(pass, key)
+	}
+
+	if len(pass) > 0 {
+		e.runPass(ctx, pass, rep, flights, b, serve)
+	}
+
+	// Members another batch was computing when the pass was formed: wait
+	// on (or, if that batch failed, compute) them individually.
+	for _, key := range deferred {
+		if b.abortedOrDone(ctx) {
+			return
+		}
+		r, err := e.resolve(ctx, rep[key], b)
+		if err != nil {
+			b.fail(err)
+			return
+		}
+		serve(key, r)
+	}
+}
+
+// runPass executes one coalesced pass over the pending members, whose
+// flights the caller has already claimed.
+func (e *Engine[R]) runPass(ctx context.Context, pass []string, rep map[string]Cell[R],
+	flights map[string]*flight[R], b *batch, serve func(string, R)) {
+	m := e.opts.Metrics
+	group := rep[pass[0]].Plan.Group
+	members := make([]PlanMember, len(pass))
+	for i, key := range pass {
+		p := rep[key].Plan
+		members[i] = PlanMember{Key: key, Horizon: p.Horizon, Payload: p.Payload}
+	}
+
+	failRest := func(err error, emitted []bool) {
+		for i, key := range pass {
+			if emitted != nil && emitted[i] {
+				continue
+			}
+			f := flights[key]
+			f.err = err
+			e.mu.Lock()
+			delete(e.inflight, key)
+			e.mu.Unlock()
+			close(f.done)
+		}
+		b.fail(err)
+	}
+
+	semStart := time.Now()
+	semSpan := telemetry.StartSpan(ctx, "sem-wait", group)
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		semSpan.End()
+		failRest(ctx.Err(), nil)
+		return
+	}
+	semSpan.End()
+	if m != nil {
+		m.SemWaitSeconds.Observe(time.Since(semStart).Seconds())
+	}
+
+	note := &resumeNote{}
+	emitted := make([]bool, len(members))
+	nEmitted := 0
+	runStart := time.Now()
+	runSpan := telemetry.StartSpan(ctx, "pass", group)
+	runSpan.SetAttr("members", len(members))
+	emit := func(i int, r R) {
+		if i < 0 || i >= len(members) || emitted[i] {
+			panic(fmt.Sprintf("engine: pass %q emitted invalid or duplicate member %d", group, i))
+		}
+		emitted[i] = true
+		nEmitted++
+		key := members[i].Key
+		e.mu.Lock()
+		e.cache[key] = r
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		f := flights[key]
+		f.r = r
+		close(f.done)
+		b.bump(func(s *Stats) { s.Simulated++; s.PlannedCells++ })
+		if e.store != nil {
+			e.saveResult(ctx, key, r, b)
+		}
+		serve(key, r)
+	}
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				b.bump(func(s *Stats) { s.Panics++ })
+				err = fmt.Errorf("engine: pass %q panicked: %v\n%s", group, p, debug.Stack())
+			}
+		}()
+		return rep[pass[0]].Plan.RunPass(context.WithValue(ctx, resumeNoteKey{}, note), members, emit)
+	}()
+	if note.resumed {
+		runSpan.SetAttr("resumed_ticks", note.ticks)
+	}
+	runSpan.End()
+	<-e.sem
+	if err == nil && nEmitted < len(members) {
+		err = fmt.Errorf("engine: pass %q emitted %d of %d members", group, nEmitted, len(members))
+	}
+	b.bump(func(s *Stats) {
+		s.PlannedPasses++
+		s.SimulatedTicks += note.simulated
+		if note.resumed {
+			s.Resumed++
+			s.ResumedTicks += uint64(note.ticks)
+		}
+	})
+	if m != nil {
+		m.CellSeconds.Observe(time.Since(runStart).Seconds())
+	}
+	if err != nil {
+		failRest(err, emitted)
+	}
 }

@@ -74,6 +74,12 @@ func RegisterStatsFuncs(r *telemetry.Registry, stats func() Stats) {
 		func(s Stats) uint64 { return s.ResumedTicks })
 	counter("hira_engine_store_errors_total", "Cell results that could not be persisted.",
 		func(s Stats) uint64 { return s.StoreErrors })
+	counter("hira_engine_planned_passes_total", "Coalesced sweep-planner passes executed.",
+		func(s Stats) uint64 { return s.PlannedPasses })
+	counter("hira_engine_planned_cells_total", "Cells resolved by coalesced planner passes.",
+		func(s Stats) uint64 { return s.PlannedCells })
+	counter("hira_engine_simulated_ticks_total", "Machine ticks actually simulated by cell runners.",
+		func(s Stats) uint64 { return s.SimulatedTicks })
 }
 
 // RegisterSnapStoreFuncs exposes a SnapStore's tallies as scrape-time
@@ -103,6 +109,10 @@ func RegisterSnapStoreFuncs(r *telemetry.Registry, stats func() SnapStats) {
 		func(s SnapStats) float64 { return float64(s.GhostHits) })
 	counter("hira_snapstore_eviction_resim_ticks_total", "Simulation ticks re-simulated because the covering checkpoint was evicted.",
 		func(s SnapStats) float64 { return float64(s.EvictionResimTicks) })
+	counter("hira_snapstore_delta_saves_total", "Differential checkpoints written (also counted in saves).",
+		func(s SnapStats) float64 { return float64(s.DeltaSaves) })
+	counter("hira_snapstore_delta_bytes_total", "Payload bytes written as differential checkpoints.",
+		func(s SnapStats) float64 { return float64(s.DeltaBytes) })
 	r.GaugeFunc("hira_snapstore_bytes", "Current checkpoint payload bytes.",
 		func() float64 { return float64(stats().Bytes) })
 	r.GaugeFunc("hira_snapstore_entries", "Current checkpoint count.",

@@ -44,6 +44,16 @@ type SnapStats struct {
 	// would be invisible. FirstSaveError describes the first failure.
 	SaveErrors     uint64 `json:"save_errors"`
 	FirstSaveError string `json:"first_save_error,omitempty"`
+
+	// DeltaSaves/DeltaBytes split out differential checkpoints (deltas
+	// against an earlier checkpoint of the same trajectory) from the
+	// totals above, pricing the encoding: Saves - DeltaSaves full
+	// snapshots wrote Bytes - ... well, DeltaBytes of the cumulative
+	// save volume came in as deltas. A store whose DeltaBytes/DeltaSaves
+	// ratio approaches the full-snapshot size has trajectories touching
+	// their whole working set every interval.
+	DeltaSaves uint64 `json:"delta_saves"`
+	DeltaBytes uint64 `json:"delta_bytes"` // cumulative delta payload bytes written
 }
 
 // DefaultSnapMaxBytes is the checkpoint store's default byte cap for
@@ -61,6 +71,7 @@ const DefaultSnapMaxBytesMemory = 256 << 20
 type snapEntry struct {
 	hash  string
 	tick  int
+	base  int // delta base tick; 0 = full snapshot
 	size  int64
 	touch uint64 // last-use order for oldest-first eviction
 	data  []byte // payload, in-memory mode only
@@ -171,7 +182,7 @@ func NewSnapStoreFS(dir string, maxBytes int64, fsys fault.FS) *SnapStore {
 			continue
 		}
 		for _, f := range files {
-			hash, tick, ok := snapFileName(f.Name())
+			hash, tick, base, ok := snapFileName(f.Name())
 			if !ok {
 				continue
 			}
@@ -181,7 +192,7 @@ func NewSnapStoreFS(dir string, maxBytes int64, fsys fault.FS) *SnapStore {
 			}
 			path := filepath.Join(dir, sh.Name(), f.Name())
 			all = append(all, found{
-				e:   &snapEntry{hash: hash, tick: tick, size: snapPayloadSize(path, info.Size())},
+				e:   &snapEntry{hash: hash, tick: tick, base: base, size: snapPayloadSize(path, info.Size())},
 				mod: info.ModTime().UnixNano(),
 			})
 		}
@@ -253,21 +264,35 @@ func snapPayloadSize(path string, fileSize int64) int64 {
 	return fileSize
 }
 
-// snapFileName parses a <64-hex>@<tick>.snap checkpoint file name.
-func snapFileName(name string) (hash string, tick int, ok bool) {
+// snapFileName parses a checkpoint file name: <64-hex>@<tick>.snap for
+// a full snapshot, or <64-hex>@<tick>.d<base>.snap for a delta against
+// the same trajectory's checkpoint at <base>. Encoding the base in the
+// name keeps the restart index chain-aware without opening any file.
+func snapFileName(name string) (hash string, tick, base int, ok bool) {
 	rest, ok := strings.CutSuffix(name, ".snap")
 	if !ok || len(rest) < 66 || rest[64] != '@' {
-		return "", 0, false
+		return "", 0, 0, false
 	}
 	hash = rest[:64]
 	if _, ok := flatCellName(hash + ".json"); !ok {
-		return "", 0, false
+		return "", 0, 0, false
 	}
-	tick, err := strconv.Atoi(rest[65:])
-	if err != nil || tick <= 0 {
-		return "", 0, false
+	ticks := rest[65:]
+	if i := strings.IndexByte(ticks, '.'); i >= 0 {
+		if len(ticks) < i+2 || ticks[i+1] != 'd' {
+			return "", 0, 0, false
+		}
+		base, _ = strconv.Atoi(ticks[i+2:])
+		if base <= 0 {
+			return "", 0, 0, false
+		}
+		ticks = ticks[:i]
 	}
-	return hash, tick, true
+	tick, err := strconv.Atoi(ticks)
+	if err != nil || tick <= 0 || (base != 0 && base >= tick) {
+		return "", 0, 0, false
+	}
+	return hash, tick, base, true
 }
 
 // insertLocked adds e to the index, replacing any same-slot entry.
@@ -324,11 +349,16 @@ func (s *SnapStore) Load(key string, tick int) ([]byte, bool) {
 	s.mu.Lock()
 	e := s.entries[hash][tick]
 	var data []byte
-	if e != nil && s.root == "" {
-		s.clock++
-		e.touch = s.clock
-		s.stats.Loads++
-		data = e.data
+	var path string
+	if e != nil {
+		if s.root == "" {
+			s.clock++
+			e.touch = s.clock
+			s.stats.Loads++
+			data = e.data
+		} else {
+			path = s.snapPath(hash, tick, e.base)
+		}
 	}
 	s.mu.Unlock()
 	if e == nil {
@@ -337,7 +367,6 @@ func (s *SnapStore) Load(key string, tick int) ([]byte, bool) {
 	if s.root == "" {
 		return data, true
 	}
-	path := s.snapPath(hash, tick)
 	raw, err := s.fs.ReadFile(fault.SiteSnapRead, path)
 	if err != nil {
 		s.mu.Lock()
@@ -394,19 +423,55 @@ func (s *SnapStore) NoteMiss() {
 // SaveErrors/FirstSaveError besides being returned, because callers
 // treat saves as best-effort and would otherwise degrade silently.
 func (s *SnapStore) Save(key string, tick int, data []byte) error {
-	err := s.save(key, tick, data)
+	err := s.save(key, tick, 0, data)
 	if err != nil {
-		s.mu.Lock()
-		s.stats.SaveErrors++
-		if s.stats.FirstSaveError == "" {
-			s.stats.FirstSaveError = err.Error()
-		}
-		s.mu.Unlock()
+		s.noteSaveErr(err)
 	}
 	return err
 }
 
-func (s *SnapStore) save(key string, tick int, data []byte) error {
+// SaveDelta stores a differential checkpoint for (key, tick) encoded
+// against the same trajectory's checkpoint at baseTick. It shares
+// Save's semantics (LRU eviction, overwrite, ownership of data); the
+// base linkage additionally means evicting the base cascades to every
+// delta chained on it, so the index never advertises a checkpoint it
+// cannot restore.
+func (s *SnapStore) SaveDelta(key string, tick, baseTick int, data []byte) error {
+	if baseTick <= 0 || baseTick >= tick {
+		err := fmt.Errorf("engine: delta base tick %d invalid for checkpoint tick %d", baseTick, tick)
+		s.noteSaveErr(err)
+		return err
+	}
+	err := s.save(key, tick, baseTick, data)
+	if err != nil {
+		s.noteSaveErr(err)
+	}
+	return err
+}
+
+// BaseTick returns the stored checkpoint's delta base tick (0 for a
+// full snapshot) and whether the slot exists.
+func (s *SnapStore) BaseTick(key string, tick int) (int, bool) {
+	hash := hashKey(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[hash][tick]
+	if e == nil {
+		return 0, false
+	}
+	return e.base, true
+}
+
+func (s *SnapStore) noteSaveErr(err error) {
+	s.mu.Lock()
+	s.stats.SaveErrors++
+	if s.stats.FirstSaveError == "" {
+		s.stats.FirstSaveError = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+func (s *SnapStore) save(key string, tick, base int, data []byte) error {
 	if tick <= 0 {
 		return fmt.Errorf("engine: checkpoint tick %d must be positive", tick)
 	}
@@ -421,7 +486,7 @@ func (s *SnapStore) save(key string, tick int, data []byte) error {
 		// Concurrent same-slot writers race benignly: trajectories are
 		// deterministic, so both payloads are identical, and the atomic
 		// rename means the last one wins.
-		if err := s.fs.WriteFileAtomic(fault.SiteSnapWrite, s.snapPath(hash, tick), wrapSnapSum(data)); err != nil {
+		if err := s.fs.WriteFileAtomic(fault.SiteSnapWrite, s.snapPath(hash, tick, base), wrapSnapSum(data)); err != nil {
 			return fmt.Errorf("engine: snapshot store: %w", err)
 		}
 	}
@@ -429,7 +494,9 @@ func (s *SnapStore) save(key string, tick int, data []byte) error {
 	defer s.mu.Unlock()
 	// Retire any same-slot entry's accounting first — its file (if any)
 	// was just atomically replaced, so it must not become an eviction
-	// victim below and delete the fresh payload.
+	// victim below and delete the fresh payload. A same-slot entry of
+	// the other kind lives under a different file name, so its stale
+	// file is removed explicitly.
 	if old := s.entries[hash][tick]; old != nil {
 		delete(s.entries[hash], tick)
 		if len(s.entries[hash]) == 0 {
@@ -437,15 +504,41 @@ func (s *SnapStore) save(key string, tick int, data []byte) error {
 		}
 		s.total -= old.size
 		s.stats.Entries--
+		if s.root != "" && old.base != base {
+			s.fs.Remove(fault.SiteSnapEvict, s.snapPath(old.hash, old.tick, old.base))
+		}
+	}
+	// A delta must not orphan itself: its base chain is pinned against
+	// the eviction loop below (evicting the base would leave the fresh
+	// delta unrestorable via the cascade).
+	var protected map[int]bool
+	if base > 0 {
+		protected = make(map[int]bool)
+		for t := base; t > 0; {
+			protected[t] = true
+			anc := s.entries[hash][t]
+			if anc == nil {
+				break
+			}
+			t = anc.base
+		}
 	}
 	for s.total+size > s.maxBytes {
-		victim := s.oldestLocked()
+		victim := s.oldestLocked(hash, protected)
 		if victim == nil {
-			break
+			if protected == nil {
+				break
+			}
+			// Only the pending delta's own base chain remains evictable;
+			// dropping it would orphan the new delta, so reject the save.
+			if s.root != "" {
+				s.fs.Remove(fault.SiteSnapEvict, s.snapPath(hash, tick, base))
+			}
+			return fmt.Errorf("engine: %d-byte delta checkpoint cannot fit without evicting its base chain", size)
 		}
 		s.dropLocked(victim, true)
 	}
-	e := &snapEntry{hash: hash, tick: tick, size: size}
+	e := &snapEntry{hash: hash, tick: tick, base: base, size: size}
 	if s.root == "" {
 		e.data = data
 	}
@@ -454,14 +547,23 @@ func (s *SnapStore) save(key string, tick int, data []byte) error {
 	s.insertLocked(e)
 	s.forgetGhostLocked(hash, tick) // the slot lives again; stop charging its eviction
 	s.stats.Saves++
+	if base > 0 {
+		s.stats.DeltaSaves++
+		s.stats.DeltaBytes += uint64(size)
+	}
 	return nil
 }
 
-// oldestLocked returns the least-recently-used entry, or nil when empty.
-func (s *SnapStore) oldestLocked() *snapEntry {
+// oldestLocked returns the least-recently-used entry, or nil when no
+// entry is evictable. Entries of trajectory `hash` whose tick is in
+// `protected` are skipped (a pending delta's base chain).
+func (s *SnapStore) oldestLocked(hash string, protected map[int]bool) *snapEntry {
 	var victim *snapEntry
-	for _, byTick := range s.entries {
+	for h, byTick := range s.entries {
 		for _, e := range byTick {
+			if protected != nil && h == hash && protected[e.tick] {
+				continue
+			}
 			if victim == nil || e.touch < victim.touch {
 				victim = e
 			}
@@ -471,7 +573,12 @@ func (s *SnapStore) oldestLocked() *snapEntry {
 }
 
 // dropLocked removes an entry from the index (and its file on disk),
-// optionally counting it as an eviction.
+// optionally counting it as an eviction. Dropping a checkpoint also
+// drops, transitively, every delta chained on it — their payloads are
+// meaningless without the base, and an index advertising them would
+// turn the loss into a restore-time error instead of a clean miss.
+// Cascaded drops inherit the eviction accounting (and ghosts), since
+// the byte cap is what made them unrestorable.
 func (s *SnapStore) dropLocked(e *snapEntry, evict bool) {
 	byTick := s.entries[e.hash]
 	if byTick[e.tick] != e {
@@ -491,7 +598,12 @@ func (s *SnapStore) dropLocked(e *snapEntry, evict bool) {
 		// Best-effort: a file that can't be removed (injected EIO) leaves a
 		// few stray bytes on disk but a consistent index; the slot is gone
 		// either way, and the startup indexer will rediscover survivors.
-		s.fs.Remove(fault.SiteSnapEvict, s.snapPath(e.hash, e.tick))
+		s.fs.Remove(fault.SiteSnapEvict, s.snapPath(e.hash, e.tick, e.base))
+	}
+	for _, dep := range s.entries[e.hash] {
+		if dep.base == e.tick {
+			s.dropLocked(dep, evict)
+		}
 	}
 }
 
@@ -556,8 +668,12 @@ func (s *SnapStore) AttributeResim(key string, resumed, horizon int) {
 	}
 }
 
-// snapPath returns where a checkpoint lives: root/ab/ab...@tick.snap.
-func (s *SnapStore) snapPath(hash string, tick int) string {
+// snapPath returns where a checkpoint lives: root/ab/ab...@tick.snap
+// for full snapshots, root/ab/ab...@tick.d<base>.snap for deltas.
+func (s *SnapStore) snapPath(hash string, tick, base int) string {
+	if base > 0 {
+		return filepath.Join(s.root, hash[:2], fmt.Sprintf("%s@%d.d%d.snap", hash, tick, base))
+	}
 	return filepath.Join(s.root, hash[:2], fmt.Sprintf("%s@%d.snap", hash, tick))
 }
 

@@ -171,7 +171,7 @@ func TestSnapStoreDiskLRUSurvivesRestart(t *testing.T) {
 	base := time.Now().Add(-3 * time.Hour)
 	for i := 1; i <= 3; i++ {
 		when := base.Add(time.Duration(i) * time.Minute)
-		if err := os.Chtimes(s.snapPath(hash, i*1000), when, when); err != nil {
+		if err := os.Chtimes(s.snapPath(hash, i*1000, 0), when, when); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -30,6 +30,18 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// SnapshotStats appends every Stats field to w. Exported so the system
+// snapshot's header-extractable mark section can reuse the exact same
+// 14-counter codec the controller snapshot uses.
+func SnapshotStats(w *snap.Writer, s Stats) {
+	snapStats(w, s)
+}
+
+// RestoreStats reads a Stats written by SnapshotStats.
+func RestoreStats(r *snap.Reader) Stats {
+	return restoreStats(r)
+}
+
 // snapStats appends every Stats field.
 func snapStats(w *snap.Writer, s Stats) {
 	w.U64(s.Reads)
@@ -148,6 +160,28 @@ func (c *Controller) Snapshot(w *snap.Writer) {
 			}
 		}
 	}
+}
+
+// SnapshotSize returns an upper bound on Snapshot's encoded size for
+// the controller's current state, so composing (differential) snapshots
+// can pre-size their buffers. Varint fields are costed at their
+// worst-case width; queue and activation-timeline terms use the live
+// counts, which cannot grow between this call and the Snapshot call in
+// a single-threaded encode.
+func (c *Controller) SnapshotSize() int {
+	n := 24 + 14*10 // clock + arrival + stats
+	for _, ch := range c.chans {
+		n += 96                            // channel fixed fields
+		n += 64 + len(ch.seqStore.cmds)*44 // optional HiRA sequence
+		n += len(ch.banks) * 96            // bank timing state
+		for i := range ch.ranks {
+			n += 64 + len(ch.ranks[i].actTimes)*10
+		}
+		for k := range ch.q {
+			n += 10 + ch.q[k].count*90
+		}
+	}
+	return n
 }
 
 // Restore reads state written by Snapshot into a freshly constructed
@@ -316,6 +350,15 @@ func (b *BaselineREF) Snapshot(w *snap.Writer) {
 			w.I64(int64(at))
 		}
 	}
+}
+
+// SnapshotSize returns an upper bound on Snapshot's encoded size.
+func (b *BaselineREF) SnapshotSize() int {
+	n := 0
+	for _, ranks := range b.nextAt {
+		n += len(ranks) * 10
+	}
+	return n
 }
 
 // Restore reads a schedule written by Snapshot.

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"hira/internal/engine"
@@ -84,17 +85,161 @@ func simCell(lab *Engine, cfg Config, mix workload.SourceMix, warmup, measure in
 			if err != nil {
 				return CellResult{}, err
 			}
-			out := CellResult{
-				IPC:        res.IPC,
-				Sched:      res.Sched,
-				LLCHitRate: res.LLCHitRate,
-				Ticks:      res.Ticks,
-				Forensics:  res.Forensics,
-			}
+			out := simCellResult(res)
 			lab.sim.observe(out)
 			return out, nil
 		},
+		Plan: &engine.Plan[CellResult]{
+			Group:   simPlanGroup(cfg, mix),
+			Horizon: warmup + measure,
+			Payload: simPassPayload{cfg: cfg, mix: mix, warmup: warmup, measure: measure},
+			RunPass: func(ctx context.Context, members []engine.PlanMember, emit func(int, CellResult)) error {
+				return runSimPass(ctx, lab, members, emit)
+			},
+		},
 	}
+}
+
+// simCellResult projects a measured-phase Result onto the cell payload.
+func simCellResult(res Result) CellResult {
+	return CellResult{
+		IPC:        res.IPC,
+		Sched:      res.Sched,
+		LLCHitRate: res.LLCHitRate,
+		Ticks:      res.Ticks,
+		Forensics:  res.Forensics,
+	}
+}
+
+// simPlanGroup names a sim cell's planner group: its trajectory, plus
+// the forensics mode. Forensics never perturbs the trajectory, but it
+// changes the cell payload, so forensics and plain cells must not share
+// one pass.
+func simPlanGroup(cfg Config, mix workload.SourceMix) string {
+	g := "sim " + trajectoryKey(cfg, mix)
+	if cfg.Forensics.Enabled {
+		g += fmt.Sprintf(" fx=1 fxrec=%t", cfg.Forensics.Recorder)
+	}
+	return g
+}
+
+// simPassPayload carries one sim cell's inputs to its group's pass.
+type simPassPayload struct {
+	cfg     Config
+	mix     workload.SourceMix
+	warmup  int
+	measure int
+}
+
+// runSimPass simulates a group of same-trajectory cells as one
+// coalesced pass: a single machine resumes from the longest checkpoint
+// at or below the group's shortest pending horizon, then walks the
+// sorted warmup and measure boundaries, recording marks at warmup
+// boundaries and emitting each member's finished row at its total
+// horizon — instead of one restore-and-extend round trip per cell.
+// Every emitted row is bit-identical to the per-cell path's: members'
+// results are differences of cumulative counters at exactly the ticks
+// the per-cell runner would have visited, on the identical trajectory.
+func runSimPass(ctx context.Context, lab *Engine, members []engine.PlanMember, emit func(int, CellResult)) error {
+	first := members[0].Payload.(simPassPayload)
+	cfg, mix := first.cfg, first.mix
+	snaps := lab.snaps
+	if cfg.Forensics.Enabled || cfg.Policy.Mitigation != "" {
+		// Same rules as runSimCell: forensics ledgers and zoo-engine
+		// tracker state are not checkpointable, so these passes run
+		// cold — they still coalesce their horizons.
+		snaps = nil
+	}
+	ck := checkpointer{snaps: snaps, interval: lab.snapInterval, key: trajectoryKey(cfg, mix)}
+
+	// The members share one machine, so the resume point must not
+	// overshoot any member's horizon: the shortest pending total bounds
+	// the scan (members arrive sorted by ascending horizon).
+	minTotal := members[0].Horizon
+	var sys *System
+	marks := make(map[int]runMark)
+	ck.resumeLongest(ctx, minTotal, func(t int, data []byte) bool {
+		s, depth, err := ck.restoreChain(cfg, mix, t, data)
+		if err != nil || s.Ticks() != t {
+			return false
+		}
+		// Every warmup boundary already behind the candidate must be
+		// mark-recoverable, or the candidate is unusable for that member.
+		got := make(map[int]runMark)
+		for _, mb := range members {
+			p := mb.Payload.(simPassPayload)
+			if p.warmup >= t {
+				continue
+			}
+			if _, ok := got[p.warmup]; ok {
+				continue
+			}
+			m, ok := ck.loadMark(cfg, mix, p.warmup)
+			if !ok {
+				return false
+			}
+			got[p.warmup] = m
+		}
+		sys, marks = s, got
+		ck.lastTick, ck.depth = t, depth
+		return true
+	})
+	if sys == nil {
+		var err error
+		if sys, err = NewSystem(cfg, mix); err != nil {
+			return err
+		}
+	}
+
+	// Walk every distinct warmup/total boundary ahead of the machine in
+	// order, marking and checkpointing warmup boundaries and emitting
+	// finished rows at totals. A tick serving both roles is fine: marks
+	// and results are pure reads of cumulative state.
+	markAt := make(map[int]bool)
+	bset := make(map[int]bool)
+	for _, mb := range members {
+		p := mb.Payload.(simPassPayload)
+		markAt[p.warmup] = true
+		bset[p.warmup] = true
+		bset[p.warmup+p.measure] = true
+	}
+	bounds := make([]int, 0, len(bset))
+	for t := range bset {
+		bounds = append(bounds, t)
+	}
+	sort.Ints(bounds)
+	for _, t := range bounds {
+		if t < sys.Ticks() {
+			continue // a warmup boundary behind the resume point; its mark is loaded
+		}
+		if err := ck.runTo(ctx, sys, t); err != nil {
+			return err
+		}
+		if markAt[t] {
+			if _, ok := marks[t]; !ok {
+				marks[t] = sys.mark()
+				// Checkpoint the warmup boundary even off the interval
+				// grid: future runs resuming past it read the mark's
+				// counters from exactly this checkpoint's header.
+				ck.save(ctx, sys)
+			}
+		}
+		for i, mb := range members {
+			p := mb.Payload.(simPassPayload)
+			if p.warmup+p.measure != t {
+				continue
+			}
+			m, ok := marks[p.warmup]
+			if !ok {
+				return fmt.Errorf("sim: pass reached tick %d without a mark at warmup %d", t, p.warmup)
+			}
+			ck.save(ctx, sys)
+			out := simCellResult(sys.resultSince(m, p.measure))
+			lab.sim.observe(out)
+			emit(i, out)
+		}
+	}
+	return nil
 }
 
 // runSimCell simulates one cell to warmup+measure ticks, resuming from
@@ -150,11 +295,27 @@ type machine interface {
 	Snapshot() ([]byte, error)
 }
 
+// deltaMachine is a machine that can encode a differential checkpoint:
+// only the state blocks touched since the previous checkpoint, chained
+// to it by base tick. The checkpointer owns the touch epoch — it calls
+// ResetTouchedLines exactly when a checkpoint (full or delta) lands, so
+// the touched set always means "since the last stored checkpoint".
+type deltaMachine interface {
+	SnapshotDelta(baseTick, depth int) ([]byte, error)
+	ResetTouchedLines()
+}
+
 // checkpointer writes and resumes one trajectory's checkpoints.
 type checkpointer struct {
 	snaps    *engine.SnapStore
 	interval int
 	key      string
+
+	// Delta-chain epoch: the tick of the last checkpoint this run stored
+	// or resumed from (0 = none; deltas diff against it) and how many
+	// delta links already sit between it and its full base.
+	lastTick int
+	depth    int
 }
 
 func (ck *checkpointer) enabled() bool { return ck.snaps != nil && ck.interval > 0 }
@@ -205,30 +366,96 @@ func (ck *checkpointer) resumeLongest(ctx context.Context, horizon int, take fun
 // result.
 func (ck *checkpointer) resumeSystem(ctx context.Context, cfg Config, mix workload.SourceMix, warmup, total int) (sys *System, mark runMark, haveMark bool) {
 	ck.resumeLongest(ctx, total, func(t int, data []byte) bool {
-		s, err := RestoreSystem(cfg, mix, data)
+		s, depth, err := ck.restoreChain(cfg, mix, t, data)
 		if err != nil || s.Ticks() != t {
 			return false
 		}
 		if t > warmup {
-			if warmup == 0 {
-				mark = zeroMark(cfg.Cores)
-			} else {
-				mdata, ok := ck.snaps.Load(ck.key, warmup)
-				if !ok {
-					return false
-				}
-				ms, err := RestoreSystem(cfg, mix, mdata)
-				if err != nil || ms.Ticks() != warmup {
-					return false
-				}
-				mark = ms.mark()
+			m, ok := ck.loadMark(cfg, mix, warmup)
+			if !ok {
+				return false
 			}
-			haveMark = true
+			mark, haveMark = m, true
 		}
 		sys = s
+		ck.lastTick, ck.depth = t, depth
 		return true
 	})
 	return sys, mark, haveMark
+}
+
+// restoreChain restores the checkpoint stored at tick, following delta
+// links down to their full base and replaying them ascending. It
+// returns the restored machine and the chain length (0 for a full
+// snapshot) — the caller seeds its delta epoch from that, so new deltas
+// extend the restored chain instead of restarting its depth count.
+func (ck *checkpointer) restoreChain(cfg Config, mix workload.SourceMix, tick int, data []byte) (*System, int, error) {
+	var chain [][]byte
+	want := tick
+	for hasMagic(data, deltaMagic) {
+		if len(chain) == maxDeltaChain {
+			return nil, 0, fmt.Errorf("sim: delta chain at tick %d exceeds %d links", tick, maxDeltaChain)
+		}
+		key, t, baseTick, _, err := readDeltaHeader(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		if key != ck.key {
+			return nil, 0, fmt.Errorf("sim: delta checkpoint carries a foreign trajectory key")
+		}
+		if t != want {
+			return nil, 0, fmt.Errorf("sim: delta checkpoint labeled tick %d, indexed at %d", t, want)
+		}
+		chain = append(chain, data)
+		next, ok := ck.snaps.Load(ck.key, baseTick)
+		if !ok {
+			return nil, 0, fmt.Errorf("sim: delta base at tick %d missing", baseTick)
+		}
+		data, want = next, baseTick
+	}
+	sys, err := RestoreSystem(cfg, mix, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sys.Ticks() != want {
+		return nil, 0, fmt.Errorf("sim: base snapshot at tick %d, indexed at %d", sys.Ticks(), want)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := applySystemDelta(sys, chain[i]); err != nil {
+			return nil, 0, err
+		}
+	}
+	return sys, len(chain), nil
+}
+
+// loadMark obtains the cumulative counters at the warmup boundary from
+// the store: straight from a v2 checkpoint's header, or by a full
+// decode for a legacy v1 snapshot. A zero warmup needs no checkpoint.
+func (ck *checkpointer) loadMark(cfg Config, mix workload.SourceMix, warmup int) (runMark, bool) {
+	if warmup == 0 {
+		return zeroMark(cfg.Cores), true
+	}
+	mdata, ok := ck.snaps.Load(ck.key, warmup)
+	if !ok {
+		return runMark{}, false
+	}
+	key, mtick, m, ok, err := readSnapshotMark(mdata, cfg.Cores)
+	if err != nil {
+		return runMark{}, false
+	}
+	if ok {
+		if key != ck.key || mtick != warmup {
+			return runMark{}, false
+		}
+		return m, true
+	}
+	// Legacy v1 snapshot: no mark section, so the counters require a
+	// full decode.
+	ms, err := RestoreSystem(cfg, mix, mdata)
+	if err != nil || ms.Ticks() != warmup {
+		return runMark{}, false
+	}
+	return ms.mark(), true
 }
 
 // runTo advances m to the target tick, checkpointing every interval
@@ -243,6 +470,8 @@ func (ck *checkpointer) runTo(ctx context.Context, m machine, target int) error 
 	sp.SetAttr("from", m.Ticks())
 	sp.SetAttr("to", target)
 	defer sp.End()
+	before := m.Ticks()
+	defer func() { engine.MarkSimulated(ctx, m.Ticks()-before) }()
 	if !ck.enabled() {
 		return m.RunTo(ctx, target)
 	}
@@ -263,22 +492,47 @@ func (ck *checkpointer) runTo(ctx context.Context, m machine, target int) error 
 
 // save checkpoints m's current state, best-effort: an encode failure (a
 // non-checkpointable custom stream) or store failure only means the next
-// run starts colder.
+// run starts colder. When m tracks touched state and a prior checkpoint
+// anchors this run, save emits a differential checkpoint chained to it;
+// the chain is bounded, so every maxDeltaChain-th save (and any save a
+// delta path fails on) is a full snapshot. The touch epoch resets only
+// after a checkpoint actually lands, so a skipped or failed save leaves
+// the touched set accumulating toward the next successful one.
 func (ck *checkpointer) save(ctx context.Context, m machine) {
 	if !ck.enabled() || m.Ticks() == 0 {
 		return
 	}
-	if ck.snaps.Has(ck.key, m.Ticks()) {
+	tick := m.Ticks()
+	if ck.snaps.Has(ck.key, tick) {
 		return
 	}
 	sp := telemetry.StartSpan(ctx, "checkpoint-save", ck.key)
-	sp.SetAttr("tick", m.Ticks())
+	sp.SetAttr("tick", tick)
 	defer sp.End()
+	dm, canDelta := m.(deltaMachine)
+	if canDelta && ck.lastTick > 0 && ck.lastTick < tick && ck.depth < maxDeltaChain {
+		data, err := dm.SnapshotDelta(ck.lastTick, ck.depth+1)
+		if err == nil && ck.snaps.SaveDelta(ck.key, tick, ck.lastTick, data) == nil {
+			sp.SetAttr("delta", true)
+			ck.lastTick, ck.depth = tick, ck.depth+1
+			dm.ResetTouchedLines()
+			return
+		}
+		// Fall through: any delta failure (encode, or the store cannot
+		// hold the delta without evicting its base chain) degrades to a
+		// full snapshot.
+	}
 	data, err := m.Snapshot()
 	if err != nil {
 		return
 	}
-	ck.snaps.Save(ck.key, m.Ticks(), data)
+	if ck.snaps.Save(ck.key, tick, data) != nil {
+		return
+	}
+	ck.lastTick, ck.depth = tick, 0
+	if canDelta {
+		dm.ResetTouchedLines()
+	}
 }
 
 // runAloneCell computes one alone-IPC reference, resuming from and
@@ -308,7 +562,9 @@ func runAloneCell(ctx context.Context, snaps *engine.SnapStore, interval int,
 		sp := telemetry.StartSpan(ctx, "simulate", ck.key)
 		sp.SetAttr("from", a.Ticks())
 		sp.SetAttr("to", ticks)
+		before := a.Ticks()
 		err := a.RunTo(ctx, ticks)
+		engine.MarkSimulated(ctx, a.Ticks()-before)
 		sp.End()
 		if err != nil {
 			return 0, err
@@ -316,6 +572,58 @@ func runAloneCell(ctx context.Context, snaps *engine.SnapStore, interval int,
 	}
 	ck.save(ctx, a)
 	return a.ipc(), nil
+}
+
+// alonePassPayload carries one alone cell's inputs to its group's pass.
+type alonePassPayload struct {
+	src   workload.Source
+	seed  uint64
+	ticks int
+}
+
+// runAlonePass computes a group of same-trajectory alone-IPC references
+// in one coalesced pass: the reference machine resumes once (at or
+// below the shortest pending horizon), then visits each member's tick
+// count ascending, checkpointing and emitting the cumulative IPC at
+// every boundary. Alone results are cumulative, so each boundary's
+// value is identical to what a per-cell run stopping there reports.
+func runAlonePass(ctx context.Context, lab *Engine, members []engine.PlanMember, emit func(int, CellResult)) error {
+	first := members[0].Payload.(alonePassPayload)
+	src, seed := first.src, first.seed
+	ck := checkpointer{snaps: lab.snaps, interval: lab.snapInterval, key: aloneTrajectoryKey(src, seed)}
+	var a *aloneRun
+	ck.resumeLongest(ctx, members[0].Horizon, func(t int, data []byte) bool {
+		r, err := restoreAloneRun(src, seed, data)
+		if err != nil || r.Ticks() != t {
+			return false
+		}
+		a = r
+		return true
+	})
+	if a == nil {
+		a = newAloneRun(src, seed)
+	}
+	for i, mb := range members {
+		ticks := mb.Payload.(alonePassPayload).ticks
+		if a.Ticks() < ticks {
+			sp := telemetry.StartSpan(ctx, "simulate", ck.key)
+			sp.SetAttr("from", a.Ticks())
+			sp.SetAttr("to", ticks)
+			before := a.Ticks()
+			err := a.RunTo(ctx, ticks)
+			engine.MarkSimulated(ctx, a.Ticks()-before)
+			sp.End()
+			if err != nil {
+				return err
+			}
+		}
+		if a.Ticks() != ticks {
+			return fmt.Errorf("sim: alone pass overshot member horizon %d at tick %d", ticks, a.Ticks())
+		}
+		ck.save(ctx, a)
+		emit(i, CellResult{Alone: a.ipc()})
+	}
+	return nil
 }
 
 // aloneCellKey names an alone-IPC reference cell.
@@ -335,6 +643,14 @@ func aloneCell(lab *Engine, src workload.Source, seed uint64, ticks int) engine.
 				return CellResult{}, err
 			}
 			return CellResult{Alone: alone}, nil
+		},
+		Plan: &engine.Plan[CellResult]{
+			Group:   "alone " + aloneTrajectoryKey(src, seed),
+			Horizon: ticks,
+			Payload: alonePassPayload{src: src, seed: seed, ticks: ticks},
+			RunPass: func(ctx context.Context, members []engine.PlanMember, emit func(int, CellResult)) error {
+				return runAlonePass(ctx, lab, members, emit)
+			},
 		},
 	}
 }

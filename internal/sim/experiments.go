@@ -193,6 +193,12 @@ type Options struct {
 	// (simulated vs cache/store hits) across the sweep.
 	Stats *EngineStats
 
+	// NoPlanner disables the engine's trajectory-coalescing sweep
+	// planner for this sweep, resolving every cell individually.
+	// Results are bit-identical either way; this is an escape hatch for
+	// debugging and for measuring the planner's savings.
+	NoPlanner bool
+
 	// Forensics runs every simulation cell with the RowHammer forensics
 	// ledger enabled and attaches per-policy forensics summaries to the
 	// results. Purely observational (figures are bit-identical), but
@@ -270,6 +276,10 @@ type EngineConfig struct {
 	// through a fault-injection seam (see internal/fault) — armed by
 	// chaos tests and hira-server's -faults flag, nil everywhere else.
 	FS fault.FS
+	// NoPlanner disables the trajectory-coalescing sweep planner for
+	// every sweep run on this engine (per-sweep opt-outs use
+	// Options.NoPlanner). Results are bit-identical either way.
+	NoPlanner bool
 }
 
 // NewEngine builds a shared experiment engine.
@@ -278,6 +288,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		Parallelism: cfg.Parallelism,
 		ResultDir:   cfg.ResultDir,
 		FS:          cfg.FS,
+		NoPlanner:   cfg.NoPlanner,
 	}
 	if cfg.Telemetry != nil {
 		opts.Metrics = engine.NewMetrics(cfg.Telemetry)
@@ -415,43 +426,89 @@ func (o Options) sourceMixes() ([]workload.SourceMix, error) {
 // (policy, mix), then assembles weighted speedups from the resolved
 // results. opts must already have defaults applied.
 func runPolicies(ctx context.Context, lab *Engine, base Config, policies []RefreshPolicy, opts Options) ([]PolicyScore, error) {
+	rows, err := runPoliciesMeasures(ctx, lab, base, policies, opts, []int{opts.Measure})
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+// RunPoliciesHorizons evaluates each policy on the same mixes at every
+// measured horizon in measures, on a fresh single-sweep engine. See
+// Engine.RunPoliciesHorizons.
+func RunPoliciesHorizons(ctx context.Context, base Config, policies []RefreshPolicy, opts Options, measures []int) ([][]PolicyScore, error) {
+	return newSweepEngine(opts).RunPoliciesHorizons(ctx, base, policies, opts, measures)
+}
+
+// RunPoliciesHorizons evaluates each policy on the same mixes at every
+// measured horizon in measures (opts.Measure is ignored) and returns
+// one score row per horizon, index-aligned with measures. All horizons
+// submit as one batch, so the sweep planner coalesces each trajectory's
+// horizons — sim and alone-reference cells alike — into a single
+// ascending pass instead of one restore-and-extend round trip per
+// horizon. Rows are bit-identical to running each horizon separately.
+func (e *Engine) RunPoliciesHorizons(ctx context.Context, base Config, policies []RefreshPolicy, opts Options, measures []int) ([][]PolicyScore, error) {
+	if len(measures) == 0 {
+		return nil, fmt.Errorf("sim: no measure horizons given")
+	}
+	return runPoliciesMeasures(ctx, e, base, policies, opts.withDefaults(), measures)
+}
+
+// runPoliciesMeasures submits one batch covering every (policy, mix,
+// measure) simulation cell plus the alone-IPC reference cells each
+// (mix, measure) needs, then assembles one score row per measure.
+// opts must already have defaults applied.
+func runPoliciesMeasures(ctx context.Context, lab *Engine, base Config, policies []RefreshPolicy, opts Options, measures []int) ([][]PolicyScore, error) {
 	mixes, err := opts.sourceMixes()
 	if err != nil {
 		return nil, err
 	}
-
-	var cells []engine.Cell[CellResult]
-	aloneIdx := map[string]int{}           // alone cell key -> index into cells
-	aloneRefs := make([][]int, len(mixes)) // mix -> core -> index into cells
-	for mi, mix := range mixes {
-		aloneRefs[mi] = make([]int, len(mix.Sources))
-		for c, src := range mix.Sources {
-			seed := aloneRefSeed(src, opts.Seed, c)
-			key := aloneCellKey(src, seed, opts.Measure)
-			idx, ok := aloneIdx[key]
-			if !ok {
-				idx = len(cells)
-				aloneIdx[key] = idx
-				cells = append(cells, aloneCell(lab, src, seed, opts.Measure))
-			}
-			aloneRefs[mi][c] = idx
+	for _, m := range measures {
+		if m <= 0 {
+			return nil, fmt.Errorf("sim: measure horizon %d is not positive", m)
 		}
 	}
-	simStart := len(cells)
-	for _, pol := range policies {
-		cfg := base
-		cfg.Cores = opts.Cores
-		cfg.Policy = pol
-		cfg.Seed = opts.Seed
-		cfg.Forensics = ForensicsOptions{Enabled: opts.Forensics, Recorder: opts.Forensics && opts.ForensicsRecorder}
-		for _, mix := range mixes {
-			cells = append(cells, simCell(lab, cfg, mix, opts.Warmup, opts.Measure))
+
+	var cells []engine.Cell[CellResult]
+	aloneIdx := map[string]int{} // alone cell key -> index into cells
+	// aloneRefs[measure][mix][core] -> index into cells
+	aloneRefs := make([][][]int, len(measures))
+	for mIdx, measure := range measures {
+		aloneRefs[mIdx] = make([][]int, len(mixes))
+		for mi, mix := range mixes {
+			aloneRefs[mIdx][mi] = make([]int, len(mix.Sources))
+			for c, src := range mix.Sources {
+				seed := aloneRefSeed(src, opts.Seed, c)
+				key := aloneCellKey(src, seed, measure)
+				idx, ok := aloneIdx[key]
+				if !ok {
+					idx = len(cells)
+					aloneIdx[key] = idx
+					cells = append(cells, aloneCell(lab, src, seed, measure))
+				}
+				aloneRefs[mIdx][mi][c] = idx
+			}
+		}
+	}
+	simStart := make([]int, len(measures)) // measure -> its (policy x mix) block
+	for mIdx, measure := range measures {
+		simStart[mIdx] = len(cells)
+		for _, pol := range policies {
+			cfg := base
+			cfg.Cores = opts.Cores
+			cfg.Policy = pol
+			cfg.Seed = opts.Seed
+			cfg.Forensics = ForensicsOptions{Enabled: opts.Forensics, Recorder: opts.Forensics && opts.ForensicsRecorder}
+			for _, mix := range mixes {
+				cells = append(cells, simCell(lab, cfg, mix, opts.Warmup, measure))
+			}
 		}
 	}
 
 	results, batch, err := lab.eng.RunWith(ctx, cells, engine.RunOptions{
 		OnProgress:      opts.Progress,
 		OnProgressStats: opts.ProgressStats,
+		NoPlanner:       opts.NoPlanner,
 	})
 	if opts.Stats != nil {
 		opts.Stats.Add(batch)
@@ -460,31 +517,35 @@ func runPolicies(ctx context.Context, lab *Engine, base Config, policies []Refre
 		return nil, err
 	}
 
-	scores := make([]PolicyScore, len(policies))
-	next := simStart
-	for pi, pol := range policies {
-		var ws []float64
-		var agg SchedAggregate
-		var fx *ForensicsSummary
-		for mi := range mixes {
-			res := results[next]
-			next++
-			ipcAlone := make([]float64, opts.Cores)
-			for c, ref := range aloneRefs[mi] {
-				ipcAlone[c] = results[ref].Alone
+	out := make([][]PolicyScore, len(measures))
+	for mIdx := range measures {
+		scores := make([]PolicyScore, len(policies))
+		next := simStart[mIdx]
+		for pi, pol := range policies {
+			var ws []float64
+			var agg SchedAggregate
+			var fx *ForensicsSummary
+			for mi := range mixes {
+				res := results[next]
+				next++
+				ipcAlone := make([]float64, opts.Cores)
+				for c, ref := range aloneRefs[mIdx][mi] {
+					ipcAlone[c] = results[ref].Alone
+				}
+				ws = append(ws, metrics.WeightedSpeedup(res.IPC, ipcAlone))
+				agg.HiRAPiggybacks += res.Sched.HiRAPiggybacks
+				agg.HiRAPairs += res.Sched.HiRAPairs
+				agg.StandaloneRefreshes += res.Sched.StandaloneRefreshes
+				agg.REFs += res.Sched.REFs
+				agg.SeqBlocked += res.Sched.SeqBlocked
+				agg.CanACTBlocked += res.Sched.CanACTBlocked
+				fx = MergeForensics(fx, res.Forensics)
 			}
-			ws = append(ws, metrics.WeightedSpeedup(res.IPC, ipcAlone))
-			agg.HiRAPiggybacks += res.Sched.HiRAPiggybacks
-			agg.HiRAPairs += res.Sched.HiRAPairs
-			agg.StandaloneRefreshes += res.Sched.StandaloneRefreshes
-			agg.REFs += res.Sched.REFs
-			agg.SeqBlocked += res.Sched.SeqBlocked
-			agg.CanACTBlocked += res.Sched.CanACTBlocked
-			fx = MergeForensics(fx, res.Forensics)
+			scores[pi] = PolicyScore{Policy: pol, WS: metrics.Mean(ws), Sched: agg, Forensics: fx}
 		}
-		scores[pi] = PolicyScore{Policy: pol, WS: metrics.Mean(ws), Sched: agg, Forensics: fx}
+		out[mIdx] = scores
 	}
-	return scores, nil
+	return out, nil
 }
 
 // Fig9Row is one capacity point of Fig. 9.

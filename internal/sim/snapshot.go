@@ -10,11 +10,31 @@ import (
 	"hira/internal/workload"
 )
 
-// snapshotMagic identifies version 1 of the System snapshot format. The
-// composite format is versioned as a whole: any structural change to a
-// layer's codec bumps this string, and old checkpoints read as clean
-// misses (the cell runner falls back to simulating from tick zero).
-const snapshotMagic = "HIRASYS1"
+// snapshotMagic identifies version 2 of the full System snapshot
+// format: version 1 plus a header-extractable mark section (the
+// cumulative scheduler counters and per-core retirement counts), so a
+// past-warmup resume reads its warmup mark straight from the header
+// instead of restoring a full second System. The composite format is
+// versioned as a whole: any structural change to a layer's codec bumps
+// this string. Version 1 snapshots are still accepted as full decodes.
+const snapshotMagic = "HIRASYS2"
+
+// snapshotMagicV1 identifies the legacy full-snapshot format (no mark
+// section); RestoreSystem keeps reading it so stores survive upgrades.
+const snapshotMagicV1 = "HIRASYS1"
+
+// deltaMagic identifies version 1 of the differential snapshot format:
+// the v2 header (trajectory key, tick, mark section) plus the chain
+// linkage (base tick, chain depth), then every small state block in
+// full and only the LLC lines touched since the base checkpoint. A
+// delta restores by applying it on top of its base's restored state.
+const deltaMagic = "HIRADLT1"
+
+// maxDeltaChain bounds how many deltas may chain atop one full
+// snapshot before the writer is forced to emit a full one (and the
+// reader rejects longer chains as corrupt). It caps both restore cost
+// and the blast radius of a lost base.
+const maxDeltaChain = 8
 
 // maxSnapshotBytes bounds how large a snapshot RestoreSystem will look
 // at, so a mislabeled or hostile checkpoint cannot exhaust memory. Real
@@ -78,8 +98,33 @@ func (s *System) Snapshot() ([]byte, error) {
 	// 1/4 headroom covers everything else without a growth copy.
 	w := snap.NewWriterSize(s.llc.SnapshotSize() * 5 / 4)
 	w.Raw([]byte(snapshotMagic))
-	w.String(trajectoryKey(s.cfg, s.mix))
+	w.String(s.trajKey())
 	w.Int(s.ticksRun)
+	s.snapshotMark(w)
+	if err := s.snapshotBody(w, ce, false); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// snapshotMark appends the header mark section: the 14 cumulative
+// scheduler counters (via the controller codec) and each core's
+// retirement count — exactly the state mark()/resultSince need at a
+// warmup boundary. The forensics tally is deliberately absent: cells
+// with forensics enabled never checkpoint (runSimCell disables the
+// snapshot store for them), so every stored snapshot's tally is zero.
+func (s *System) snapshotMark(w *snap.Writer) {
+	sched.SnapshotStats(w, s.ctrl.Stats)
+	w.Len(len(s.cores))
+	for _, c := range s.cores {
+		w.U64(c.Retired)
+	}
+}
+
+// snapshotBody appends everything after the header: carry state,
+// buffered writebacks, cores, LLC (full or touched-lines delta),
+// controller, and refresh engine.
+func (s *System) snapshotBody(w *snap.Writer, ce checkpointableEngine, llcDelta bool) error {
 	w.F64(s.instrBudget)
 	for _, b := range s.blocked {
 		w.Bool(b)
@@ -96,13 +141,77 @@ func (s *System) Snapshot() ([]byte, error) {
 	}
 	for _, c := range s.cores {
 		if err := c.Snapshot(w); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	s.llc.Snapshot(w)
+	if llcDelta {
+		s.llc.SnapshotDelta(w)
+	} else {
+		s.llc.Snapshot(w)
+	}
 	s.ctrl.Snapshot(w)
 	ce.Snapshot(w)
+	return nil
+}
+
+// SnapshotDelta serializes a differential checkpoint against the
+// trajectory's previous checkpoint at baseTick: the full v2 header and
+// every small state block in full, but only the LLC lines touched
+// since that checkpoint (the LLC dominates a full snapshot's ~2 MB, so
+// a delta's size tracks the interval's working set instead). depth is
+// the delta's position in its chain (1 = directly atop a full
+// snapshot); callers must force a full snapshot once depth would
+// exceed maxDeltaChain. The caller owns the touched-line epoch: it
+// must ResetTouched only after the delta is durably saved.
+func (s *System) SnapshotDelta(baseTick, depth int) ([]byte, error) {
+	ce, ok := s.engine.(checkpointableEngine)
+	if !ok {
+		return nil, fmt.Errorf("sim: refresh engine %T is not checkpointable", s.engine)
+	}
+	if baseTick < 0 || baseTick >= s.ticksRun {
+		return nil, fmt.Errorf("sim: delta base tick %d not before tick %d", baseTick, s.ticksRun)
+	}
+	if depth < 1 || depth > maxDeltaChain {
+		return nil, fmt.Errorf("sim: delta chain depth %d out of range", depth)
+	}
+	w := snap.NewWriterSize(s.SnapshotDeltaSize())
+	w.Raw([]byte(deltaMagic))
+	w.String(s.trajKey())
+	w.Int(s.ticksRun)
+	s.snapshotMark(w)
+	w.Int(baseTick)
+	w.Int(depth)
+	if err := s.snapshotBody(w, ce, true); err != nil {
+		return nil, err
+	}
 	return w.Bytes(), nil
+}
+
+// ResetTouchedLines starts a new differential-checkpoint epoch: the
+// next SnapshotDelta encodes only LLC lines touched from here on.
+// Callers reset exactly when a checkpoint of the current state is
+// durably stored (that checkpoint is the next delta's base).
+func (s *System) ResetTouchedLines() { s.llc.ResetTouched() }
+
+// SnapshotDeltaSize returns an upper bound on SnapshotDelta's encoded
+// size for the current state, so the encoder pre-sizes its buffer and
+// never pays a growth reallocation.
+func (s *System) SnapshotDeltaSize() int {
+	n := len(deltaMagic) + 10 + len(s.trajKey()) // magic + key
+	n += 10 + 14*10 + 10 + 10*len(s.cores)       // tick + mark section
+	n += 10 + 10 + 10 + len(s.blocked)           // chain linkage + budget + blocked
+	n += 10 + 60*s.wb.len()                      // buffered writebacks
+	for _, c := range s.cores {
+		n += c.SnapshotSize()
+	}
+	n += s.llc.SnapshotDeltaSize()
+	n += s.ctrl.SnapshotSize()
+	if se, ok := s.engine.(interface{ SnapshotSize() int }); ok {
+		n += se.SnapshotSize()
+	} else {
+		n += 1 << 16
+	}
+	return n
 }
 
 // aloneMagic identifies version 1 of the alone-run snapshot format.
@@ -194,7 +303,12 @@ func RestoreSystem(cfg Config, mix workload.SourceMix, data []byte) (*System, er
 	if len(data) > maxSnapshotBytes {
 		return nil, fmt.Errorf("sim: snapshot exceeds the %d-byte limit", maxSnapshotBytes)
 	}
-	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+	var v2 bool
+	switch {
+	case hasMagic(data, snapshotMagic):
+		v2 = true
+	case hasMagic(data, snapshotMagicV1):
+	default:
 		return nil, fmt.Errorf("sim: not a %s snapshot", snapshotMagic)
 	}
 	s, err := NewSystem(cfg, mix)
@@ -202,28 +316,172 @@ func RestoreSystem(cfg Config, mix workload.SourceMix, data []byte) (*System, er
 		return nil, err
 	}
 	r := snap.NewReader(data[len(snapshotMagic):])
-	if key := r.String(); key != trajectoryKey(cfg, mix) {
+	if key := r.String(); key != s.trajKey() {
 		return nil, fmt.Errorf("sim: snapshot is for a different trajectory (%q)", key)
 	}
 	s.ticksRun = r.Int()
-	s.instrBudget = r.F64()
-	if err := r.Err(); err != nil {
+	if v2 {
+		if _, err := readMarkSection(r, cfg.Cores); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.restoreBody(r, false); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// hasMagic reports whether data starts with the given format magic.
+func hasMagic(data []byte, magic string) bool {
+	return len(data) >= len(magic) && string(data[:len(magic)]) == magic
+}
+
+// maxMarkCores bounds the mark section's core count while parsing
+// headers whose system shape is not yet known.
+const maxMarkCores = 4096
+
+// readMarkSection reads the header mark section written by
+// snapshotMark. cores is the expected core count; pass -1 to skip
+// validation (header-only parses that don't know the shape yet).
+func readMarkSection(r *snap.Reader, cores int) (runMark, error) {
+	m := runMark{sched: sched.RestoreStats(r)}
+	n := r.Len(maxMarkCores, 1)
+	if r.Err() != nil {
+		return runMark{}, r.Err()
+	}
+	if cores >= 0 && n != cores {
+		r.Failf("mark section has %d cores, system has %d", n, cores)
+		return runMark{}, r.Err()
+	}
+	m.retired = make([]uint64, n)
+	for i := range m.retired {
+		m.retired[i] = r.U64()
+	}
+	return m, r.Err()
+}
+
+// readSnapshotMark decodes only the header of a v2 full or delta
+// snapshot: its trajectory key, tick, and mark. It reports ok=false
+// with a nil error for legacy v1 snapshots, whose mark requires a full
+// decode. This is what makes a past-warmup resume cheap: the warmup
+// mark is 14 counters plus per-core retirement counts, not a second
+// restored System.
+func readSnapshotMark(data []byte, cores int) (key string, tick int, m runMark, ok bool, err error) {
+	if len(data) > maxSnapshotBytes {
+		return "", 0, runMark{}, false, fmt.Errorf("sim: snapshot exceeds the %d-byte limit", maxSnapshotBytes)
+	}
+	switch {
+	case hasMagic(data, snapshotMagic), hasMagic(data, deltaMagic):
+	case hasMagic(data, snapshotMagicV1):
+		return "", 0, runMark{}, false, nil
+	default:
+		return "", 0, runMark{}, false, fmt.Errorf("sim: not a %s snapshot", snapshotMagic)
+	}
+	r := snap.NewReader(data[len(snapshotMagic):])
+	key = r.String()
+	tick = r.Int()
+	m, err = readMarkSection(r, cores)
+	if err != nil {
+		return "", 0, runMark{}, false, err
+	}
+	if tick < 0 {
+		return "", 0, runMark{}, false, fmt.Errorf("sim: snapshot tick count %d out of range", tick)
+	}
+	return key, tick, m, true, nil
+}
+
+// readDeltaHeader parses a differential snapshot's identity and chain
+// linkage without decoding any machine state.
+func readDeltaHeader(data []byte) (key string, tick, baseTick, depth int, err error) {
+	if len(data) > maxSnapshotBytes {
+		return "", 0, 0, 0, fmt.Errorf("sim: snapshot exceeds the %d-byte limit", maxSnapshotBytes)
+	}
+	if !hasMagic(data, deltaMagic) {
+		return "", 0, 0, 0, fmt.Errorf("sim: not a %s snapshot", deltaMagic)
+	}
+	r := snap.NewReader(data[len(deltaMagic):])
+	key = r.String()
+	tick = r.Int()
+	if _, err := readMarkSection(r, -1); err != nil {
+		return "", 0, 0, 0, err
+	}
+	baseTick = r.Int()
+	depth = r.Int()
+	if err := r.Err(); err != nil {
+		return "", 0, 0, 0, err
+	}
+	if baseTick < 0 || tick <= baseTick {
+		return "", 0, 0, 0, fmt.Errorf("sim: delta tick %d does not follow base %d", tick, baseTick)
+	}
+	if depth < 1 || depth > maxDeltaChain {
+		return "", 0, 0, 0, fmt.Errorf("sim: delta chain depth %d out of range", depth)
+	}
+	return key, tick, baseTick, depth, nil
+}
+
+// applySystemDelta applies a differential snapshot on top of s, which
+// must hold the restored state of the delta's base checkpoint (its
+// tick is cross-checked against the delta's recorded base). On success
+// s is the machine at the delta's tick, bit-identical to one restored
+// from a full snapshot taken there.
+func applySystemDelta(s *System, data []byte) error {
+	if len(data) > maxSnapshotBytes {
+		return fmt.Errorf("sim: snapshot exceeds the %d-byte limit", maxSnapshotBytes)
+	}
+	if !hasMagic(data, deltaMagic) {
+		return fmt.Errorf("sim: not a %s snapshot", deltaMagic)
+	}
+	r := snap.NewReader(data[len(deltaMagic):])
+	if key := r.String(); key != s.trajKey() {
+		return fmt.Errorf("sim: delta is for a different trajectory (%q)", key)
+	}
+	tick := r.Int()
+	if _, err := readMarkSection(r, len(s.cores)); err != nil {
+		return err
+	}
+	baseTick := r.Int()
+	depth := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if depth < 1 || depth > maxDeltaChain {
+		return fmt.Errorf("sim: delta chain depth %d out of range", depth)
+	}
+	if baseTick != s.ticksRun {
+		return fmt.Errorf("sim: delta chains to tick %d, system is at %d", baseTick, s.ticksRun)
+	}
+	if tick <= baseTick {
+		return fmt.Errorf("sim: delta tick %d does not follow base %d", tick, baseTick)
+	}
+	s.ticksRun = tick
+	return s.restoreBody(r, true)
+}
+
+// restoreBody reads everything snapshotBody wrote, validating each
+// block; s.ticksRun must already hold the snapshot's tick. When
+// llcDelta is set the LLC section is a touched-lines delta applied on
+// top of the LLC's current (base) state.
+func (s *System) restoreBody(r *snap.Reader, llcDelta bool) error {
+	cfg := s.cfg
 	// The controller clock advances exactly one tCK per tick; a snapshot
 	// violating that is corrupt (and huge tick counts would overflow the
 	// cross-check).
 	if s.ticksRun < 0 || int64(s.ticksRun) > (int64(1)<<53)/int64(s.timing.TCK) {
-		return nil, fmt.Errorf("sim: snapshot tick count %d out of range", s.ticksRun)
+		return fmt.Errorf("sim: snapshot tick count %d out of range", s.ticksRun)
+	}
+	s.instrBudget = r.F64()
+	if err := r.Err(); err != nil {
+		return err
 	}
 	// The fractional instruction budget lives in [0, 1); anything larger
 	// would hand a restored core an absurd slot budget.
 	if !(s.instrBudget >= 0 && s.instrBudget < 8) {
-		return nil, fmt.Errorf("sim: snapshot instruction budget %v out of range", s.instrBudget)
+		return fmt.Errorf("sim: snapshot instruction budget %v out of range", s.instrBudget)
 	}
 	for i := range s.blocked {
 		s.blocked[i] = r.Bool()
 	}
+	s.wb = wbRing{}
 	wbN := r.Len(maxSnapshotBytes, 5)
 	for i := 0; i < wbN; i++ {
 		var req sched.Request
@@ -235,7 +493,7 @@ func RestoreSystem(cfg Config, mix workload.SourceMix, data []byte) (*System, er
 		req.Loc.Col = r.Int()
 		req.Core = r.Int()
 		if r.Err() != nil {
-			return nil, r.Err()
+			return r.Err()
 		}
 		if req.Loc.Channel < 0 || req.Loc.Channel >= s.org.Channels ||
 			req.Loc.Rank < 0 || req.Loc.Rank >= s.org.RanksPerChannel ||
@@ -243,38 +501,44 @@ func RestoreSystem(cfg Config, mix workload.SourceMix, data []byte) (*System, er
 			req.Loc.Row < 0 || req.Loc.Row >= s.org.RowsPerBank() ||
 			req.Loc.Col < 0 ||
 			req.Core < 0 || req.Core >= cfg.Cores {
-			return nil, fmt.Errorf("sim: buffered writeback %d out of range", i)
+			return fmt.Errorf("sim: buffered writeback %d out of range", i)
 		}
 		s.wb.push(req)
 	}
 	for _, c := range s.cores {
 		if err := c.Restore(r); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	if err := s.llc.Restore(r); err != nil {
-		return nil, err
+	if llcDelta {
+		if err := s.llc.ApplyDelta(r); err != nil {
+			return err
+		}
+	} else {
+		if err := s.llc.Restore(r); err != nil {
+			return err
+		}
 	}
 	if err := s.ctrl.Restore(r, cfg.Cores); err != nil {
-		return nil, err
+		return err
 	}
 	if s.ctrl.Now() != dram.Time(s.ticksRun)*s.timing.TCK {
-		return nil, fmt.Errorf("sim: snapshot clock %v disagrees with tick count %d",
+		return fmt.Errorf("sim: snapshot clock %v disagrees with tick count %d",
 			s.ctrl.Now(), s.ticksRun)
 	}
 	ce, ok := s.engine.(checkpointableEngine)
 	if !ok {
-		return nil, fmt.Errorf("sim: refresh engine %T is not checkpointable", s.engine)
+		return fmt.Errorf("sim: refresh engine %T is not checkpointable", s.engine)
 	}
 	if err := ce.Restore(r, s.ctrl.Now()); err != nil {
-		return nil, err
+		return err
 	}
 	r.Done()
 	if err := r.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	for i := range s.idleDirty {
 		s.idleDirty[i] = true
 	}
-	return s, nil
+	return nil
 }

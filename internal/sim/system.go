@@ -239,6 +239,19 @@ type System struct {
 	// does not). Cleared on issue, skip, and completion.
 	idleMemo  []int
 	idleDirty []bool
+
+	// trajKeyMemo caches trajectoryKey(cfg, mix): both are fixed at
+	// construction, and dense differential checkpoints would otherwise
+	// re-render the key (several allocations) on every encode.
+	trajKeyMemo string
+}
+
+// trajKey returns the system's trajectory key, rendering it on first use.
+func (s *System) trajKey() string {
+	if s.trajKeyMemo == "" {
+		s.trajKeyMemo = trajectoryKey(s.cfg, s.mix)
+	}
+	return s.trajKeyMemo
 }
 
 // coreMemory adapts the system as each core's cpu.Memory.
